@@ -1,0 +1,139 @@
+//! Component benchmarks: the building blocks' costs.
+//!
+//! * `collector/*` — the runtime hot path (§5's "200 LoC in DPDK" whose
+//!   cost is the §6.2 overhead) and the 2-byte/packet codec.
+//! * `ring/*` — the SPSC shared-memory ring between the hot path and the
+//!   dumper.
+//! * `simulator/*` — DES throughput (packets simulated per second).
+//! * `traffic/*` — workload synthesis rate.
+//! * `matching/*` — cross-NF IPID matching speed.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use msc_bench::{fixture, packets};
+use msc_collector::{
+    decode_nf_log, encode_nf_log, Collector, CollectorConfig, PacketMeta, SpscRing,
+};
+use msc_trace::{match_downstream, EdgeStreams, MatchConfig};
+use nf_sim::{paper_nf_configs, SimConfig, Simulation};
+use nf_types::{paper_topology, FiveTuple, NfId, Proto};
+
+fn bench_collector(c: &mut Criterion) {
+    let topo = paper_topology();
+    let metas: Vec<PacketMeta> = (0..32u16)
+        .map(|i| PacketMeta {
+            ipid: i,
+            flow: FiveTuple::new(0x0a000001, 0x14000001, 1000 + i, 80, Proto::TCP),
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("collector");
+    g.throughput(Throughput::Elements(32));
+    g.bench_function("record_rx_batch32", |b| {
+        let mut col = Collector::new(&topo, CollectorConfig::default());
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 17_000;
+            col.record_rx(NfId(0), ts, &metas);
+        });
+    });
+    g.bench_function("record_tx_batch32", |b| {
+        let mut col = Collector::new(&topo, CollectorConfig::default());
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 17_000;
+            col.record_tx(NfId(0), ts, Some(NfId(5)), &metas);
+        });
+    });
+    g.finish();
+
+    // Encoding: bytes/packet and speed on a realistic interior log.
+    let fx = fixture(1_600_000.0, 10, 42);
+    let log = fx.out.bundle.log(NfId(0)).clone();
+    let apps = log.packet_appearances() as u64;
+    let mut g = c.benchmark_group("encode");
+    g.throughput(Throughput::Elements(apps));
+    g.bench_function("encode_nf_log", |b| b.iter(|| encode_nf_log(&log)));
+    let bytes = encode_nf_log(&log);
+    g.bench_function("decode_nf_log", |b| b.iter(|| decode_nf_log(&bytes).expect("decodes")));
+    g.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("spsc_push_pop", |b| {
+        let ring: SpscRing<u64> = SpscRing::new(1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            ring.push(i).expect("never full in lockstep");
+            ring.pop().expect("just pushed")
+        });
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    let pkts = packets(1_200_000.0, 10, 7);
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    g.bench_function("paper_topology_10ms_1.2mpps", |b| {
+        b.iter_batched(
+            || {
+                let topo = paper_topology();
+                let cfgs = paper_nf_configs(&topo);
+                (
+                    Simulation::new(topo, cfgs, SimConfig::default()),
+                    pkts.clone(),
+                )
+            },
+            |(sim, p)| sim.run(p),
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_traffic(c: &mut Criterion) {
+    use nf_traffic::{CaidaLike, CaidaLikeConfig};
+    let mut g = c.benchmark_group("traffic");
+    g.sample_size(20);
+    g.bench_function("caida_like_10ms_1.2mpps", |b| {
+        b.iter(|| {
+            let mut gen = CaidaLike::new(
+                CaidaLikeConfig {
+                    rate_pps: 1_200_000.0,
+                    ..Default::default()
+                },
+                9,
+            );
+            gen.generate(0, 10 * nf_types::MILLIS)
+        });
+    });
+    g.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let fx = fixture(1_600_000.0, 10, 42);
+    let streams = EdgeStreams::build(&fx.topology, &fx.out.bundle);
+    let vpn = fx.topology.by_name("vpn1").expect("paper topology");
+    let n = streams.nfs[vpn.0 as usize].rx.len() as u64;
+    let mut g = c.benchmark_group("matching");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("match_downstream_vpn", |b| {
+        b.iter(|| match_downstream(&streams, &fx.topology, vpn, &MatchConfig::default()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_collector,
+    bench_ring,
+    bench_simulator,
+    bench_traffic,
+    bench_matching
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches measure the performance claims of the paper that are about
+//! *our* machinery rather than the testbed: collector hot-path cost and
+//! encoding (§5, §6.2), reconstruction and diagnosis speed (offline
+//! pipeline), pattern-aggregation runtime (§6.4), plus simulator and
+//! baseline throughput for context.
+
+use msc_trace::{reconstruct, Reconstruction, ReconstructionConfig, Timelines};
+use nf_sim::{paper_nf_configs, SimConfig, SimOutput, Simulation};
+use nf_traffic::{CaidaLike, CaidaLikeConfig};
+use nf_types::{paper_topology, Nanos, Topology};
+
+/// A canned paper-topology run used by several benches.
+pub struct Fixture {
+    /// The topology.
+    pub topology: Topology,
+    /// Peak rates per NF.
+    pub peak_rates: Vec<f64>,
+    /// The simulator output.
+    pub out: SimOutput,
+    /// The reconstruction.
+    pub recon: Reconstruction,
+    /// The timelines.
+    pub timelines: Timelines,
+}
+
+/// Runs the paper topology for `millis` at `rate_pps` and reconstructs.
+pub fn fixture(rate_pps: f64, millis: u64, seed: u64) -> Fixture {
+    let topology = paper_topology();
+    let cfgs = paper_nf_configs(&topology);
+    let peak_rates: Vec<f64> = cfgs.iter().map(|c| c.service.peak_rate_pps()).collect();
+    let mut gen = CaidaLike::new(
+        CaidaLikeConfig {
+            rate_pps,
+            ..Default::default()
+        },
+        seed,
+    );
+    let packets = gen
+        .generate(0, millis * nf_types::MILLIS)
+        .finalize(0);
+    let sim = Simulation::new(topology.clone(), cfgs, SimConfig::default());
+    let out = sim.run(packets);
+    let recon = reconstruct(&topology, &out.bundle, &ReconstructionConfig::default());
+    let timelines = Timelines::build(&recon);
+    Fixture {
+        topology,
+        peak_rates,
+        out,
+        recon,
+        timelines,
+    }
+}
+
+/// Generates a packet vector without running anything.
+pub fn packets(rate_pps: f64, millis: u64, seed: u64) -> Vec<nf_types::Packet> {
+    let mut gen = CaidaLike::new(
+        CaidaLikeConfig {
+            rate_pps,
+            ..Default::default()
+        },
+        seed,
+    );
+    gen.generate(0, millis * nf_types::MILLIS).finalize(0)
+}
+
+/// Nanoseconds of simulated time per run at the given settings.
+pub fn sim_span(millis: u64) -> Nanos {
+    millis * nf_types::MILLIS
+}

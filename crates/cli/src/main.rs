@@ -1,0 +1,50 @@
+//! `microscope` — the command-line front end.
+//!
+//! ```text
+//! microscope record   --out DIR [--millis N] [--rate MPPS] [--seed S]
+//!                     [--interrupt NF:MS:US]... [--skew]
+//!     Simulate the paper's 16-NF deployment, write DIR/topology.txt and
+//!     DIR/run.msc (the collector bundle an operator would have).
+//!
+//! microscope inspect  --bundle FILE
+//!     Print bundle statistics (packets, batches, bytes/packet, per NF).
+//!
+//! microscope diagnose --topology FILE --bundle FILE [--quantile Q]
+//!                     [--threshold PKTS] [--top N] [--skew]
+//!     Reconstruct traces, select tail victims, run the queue-based
+//!     diagnosis and print ranked culprits + aggregated causal patterns.
+//!
+//! microscope skew     --topology FILE --bundle FILE
+//!     Estimate per-NF clock offsets from the records alone (§7).
+//! ```
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "record" => commands::record(rest),
+        "inspect" => commands::inspect(rest),
+        "diagnose" => commands::diagnose(rest),
+        "skew" => commands::skew(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! On-disk format for collector bundles — what the dumper writes and the
+//! offline tools read.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic  "MSCB"            4 bytes
+//! version u8               currently 1
+//! n_logs  u32              number of NF logs
+//! n_logs × { len u32, encoded NF log (see `encode`) }
+//! n_src   u32              number of source flow records
+//! n_src × { ts varint-delta u64? — no: fixed 8 bytes ts, ipid u16, tuple 13 }
+//! ```
+//!
+//! The per-NF logs reuse the compact wire encoding of [`crate::encode`];
+//! the source section keeps fixed-width records (it is a small fraction of
+//! the data and this keeps seeking trivial).
+
+use crate::collector::TraceBundle;
+use crate::encode::{decode_nf_log, encode_nf_log, EncodeError};
+use crate::records::FlowRecord;
+use nf_types::{FiveTuple, Proto};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"MSCB";
+const VERSION: u8 = 1;
+
+/// Errors from bundle (de)serialisation.
+#[derive(Debug)]
+pub enum BundleIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the bundle magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// An embedded NF log failed to decode.
+    Log(EncodeError),
+    /// The file ended prematurely.
+    Truncated,
+}
+
+impl fmt::Display for BundleIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BundleIoError::Io(e) => write!(f, "i/o error: {e}"),
+            BundleIoError::BadMagic => write!(f, "not a Microscope bundle (bad magic)"),
+            BundleIoError::BadVersion(v) => write!(f, "unsupported bundle version {v}"),
+            BundleIoError::Log(e) => write!(f, "corrupt NF log: {e}"),
+            BundleIoError::Truncated => write!(f, "truncated bundle"),
+        }
+    }
+}
+
+impl std::error::Error for BundleIoError {}
+
+impl From<io::Error> for BundleIoError {
+    fn from(e: io::Error) -> Self {
+        BundleIoError::Io(e)
+    }
+}
+
+/// Serialises a bundle to any writer.
+pub fn write_bundle<W: Write>(mut w: W, bundle: &TraceBundle) -> Result<(), BundleIoError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    w.write_all(&(bundle.logs.len() as u32).to_le_bytes())?;
+    for log in &bundle.logs {
+        let enc = encode_nf_log(log);
+        w.write_all(&(enc.len() as u32).to_le_bytes())?;
+        w.write_all(&enc)?;
+    }
+    w.write_all(&(bundle.source_flows.len() as u32).to_le_bytes())?;
+    for f in &bundle.source_flows {
+        w.write_all(&f.ts.to_le_bytes())?;
+        w.write_all(&f.ipid.to_le_bytes())?;
+        w.write_all(&f.flow.src_ip.to_le_bytes())?;
+        w.write_all(&f.flow.dst_ip.to_le_bytes())?;
+        w.write_all(&f.flow.src_port.to_le_bytes())?;
+        w.write_all(&f.flow.dst_port.to_le_bytes())?;
+        w.write_all(&[f.flow.proto.0])?;
+    }
+    Ok(())
+}
+
+/// Deserialises a bundle from any reader.
+pub fn read_bundle<R: Read>(mut r: R) -> Result<TraceBundle, BundleIoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(eof)?;
+    if &magic != MAGIC {
+        return Err(BundleIoError::BadMagic);
+    }
+    let mut v = [0u8; 1];
+    r.read_exact(&mut v).map_err(eof)?;
+    if v[0] != VERSION {
+        return Err(BundleIoError::BadVersion(v[0]));
+    }
+    let n_logs = read_u32(&mut r)? as usize;
+    let mut logs = Vec::with_capacity(n_logs.min(4096));
+    for _ in 0..n_logs {
+        let len = read_u32(&mut r)? as usize;
+        let mut buf = vec![0u8; len];
+        r.read_exact(&mut buf).map_err(eof)?;
+        logs.push(decode_nf_log(&buf).map_err(BundleIoError::Log)?);
+    }
+    let n_src = read_u32(&mut r)? as usize;
+    let mut source_flows = Vec::with_capacity(n_src.min(1 << 20));
+    for _ in 0..n_src {
+        let ts = read_u64(&mut r)?;
+        let ipid = read_u16(&mut r)?;
+        let src_ip = read_u32(&mut r)?;
+        let dst_ip = read_u32(&mut r)?;
+        let src_port = read_u16(&mut r)?;
+        let dst_port = read_u16(&mut r)?;
+        let mut p = [0u8; 1];
+        r.read_exact(&mut p).map_err(eof)?;
+        source_flows.push(FlowRecord {
+            ts,
+            ipid,
+            flow: FiveTuple::new(src_ip, dst_ip, src_port, dst_port, Proto(p[0])),
+        });
+    }
+    Ok(TraceBundle { logs, source_flows })
+}
+
+/// Writes a bundle to a file path.
+pub fn save_bundle(path: &Path, bundle: &TraceBundle) -> Result<(), BundleIoError> {
+    let f = std::fs::File::create(path)?;
+    write_bundle(io::BufWriter::new(f), bundle)
+}
+
+/// Reads a bundle from a file path.
+pub fn load_bundle(path: &Path) -> Result<TraceBundle, BundleIoError> {
+    let f = std::fs::File::open(path)?;
+    read_bundle(io::BufReader::new(f))
+}
+
+fn eof(e: io::Error) -> BundleIoError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        BundleIoError::Truncated
+    } else {
+        BundleIoError::Io(e)
+    }
+}
+
+fn read_u16<R: Read>(r: &mut R) -> Result<u16, BundleIoError> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b).map_err(eof)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, BundleIoError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).map_err(eof)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, BundleIoError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b).map_err(eof)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{Collector, CollectorConfig};
+    use crate::records::PacketMeta;
+    use nf_types::{NfId, NfKind, Topology};
+
+    fn sample_bundle() -> TraceBundle {
+        let mut b = Topology::builder();
+        let a = b.add_nf(NfKind::Nat, "nat1");
+        let v = b.add_nf(NfKind::Vpn, "vpn1");
+        b.add_entry(a);
+        b.add_edge(a, v);
+        let topo = b.build().unwrap();
+        let mut c = Collector::new(&topo, CollectorConfig::default());
+        for i in 0..50u16 {
+            let m = PacketMeta {
+                ipid: i,
+                flow: FiveTuple::new(0x0a000001, 0x14000001, 1000 + i, 80, Proto::TCP),
+            };
+            let t = i as u64 * 1_000;
+            c.record_source(t, &m);
+            c.record_rx(NfId(0), t + 100, &[m]);
+            c.record_tx(NfId(0), t + 600, Some(NfId(1)), &[m]);
+            c.record_rx(NfId(1), t + 700, &[m]);
+            c.record_tx(NfId(1), t + 1_500, None, &[m]);
+        }
+        c.into_bundle()
+    }
+
+    #[test]
+    fn round_trip_in_memory() {
+        let bundle = sample_bundle();
+        let mut buf = Vec::new();
+        write_bundle(&mut buf, &bundle).unwrap();
+        let back = read_bundle(&buf[..]).unwrap();
+        assert_eq!(back, bundle);
+    }
+
+    #[test]
+    fn round_trip_on_disk() {
+        let bundle = sample_bundle();
+        let dir = std::env::temp_dir().join("msc_bundle_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("run.msc");
+        save_bundle(&p, &bundle).unwrap();
+        let back = load_bundle(&p).unwrap();
+        assert_eq!(back, bundle);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            read_bundle(&b"NOPE"[..]),
+            Err(BundleIoError::BadMagic) | Err(BundleIoError::Truncated)
+        ));
+        let mut buf = Vec::new();
+        write_bundle(&mut buf, &sample_bundle()).unwrap();
+        buf[4] = 99; // version
+        assert!(matches!(read_bundle(&buf[..]), Err(BundleIoError::BadVersion(99))));
+        // Truncation at every section boundary is detected.
+        for cut in [3usize, 6, 12, buf.len() / 2, buf.len() - 1] {
+            assert!(read_bundle(&buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! The Microscope runtime data collector.
+//!
+//! This is the reproduction of the ~200-LoC DPDK instrumentation of §5 of the
+//! paper: hooks on the receive and transmit functions of every NF record,
+//! per batch, a timestamp, the batch size and the IPIDs of the packets in the
+//! batch ([`records`]). Only the *last* NF of the graph (and the traffic
+//! source, which knows what it offered) records full five-tuples; interior
+//! NFs record two-byte IPIDs, which is what makes the ~2-byte/packet
+//! footprint possible ([`encode`]) and what forces the offline
+//! reconstruction to disambiguate IPID collisions.
+//!
+//! To keep the hot path short, records are pushed into a lock-free SPSC ring
+//! ([`ring`]) drained by a standalone dumper thread — the paper's
+//! shared-memory + dumper design. The simulator charges the collector's
+//! per-packet cost to NF service time so the §6.2 overhead experiment is
+//! meaningful ([`Collector::per_packet_overhead_ns`]).
+
+pub mod bundle_io;
+pub mod collector;
+pub mod encode;
+pub mod records;
+pub mod ring;
+
+pub use bundle_io::{load_bundle, read_bundle, save_bundle, write_bundle, BundleIoError};
+pub use collector::{Collector, CollectorConfig, NfLog, TraceBundle};
+pub use encode::{decode_nf_log, encode_nf_log, EncodeError};
+pub use records::{FlowRecord, PacketMeta, QueueRef, RxBatch, TxBatch, MAX_BATCH};
+pub use ring::{Dumper, SpscRing};

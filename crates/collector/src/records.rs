@@ -1,0 +1,126 @@
+//! Record formats — the runtime data of Table 1 of the paper.
+
+use nf_types::{FiveTuple, Ipid, Nanos, NfId};
+use serde::{Deserialize, Serialize};
+
+/// The DPDK maximum receive batch size. A received batch smaller than this
+/// means the input queue was drained empty — the signal the offline analysis
+/// uses to segment queuing periods (§5).
+pub const MAX_BATCH: usize = 32;
+
+/// What the collector knows about one packet on the hot path.
+///
+/// The full five-tuple is available in the packet header but is *recorded*
+/// only where [`crate::Collector`] is configured to keep flow info (exit NFs
+/// and the source); everywhere else only the IPID is kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketMeta {
+    /// IP identification field.
+    pub ipid: Ipid,
+    /// Exact flow key (recorded only at flow-info points).
+    pub flow: FiveTuple,
+}
+
+/// Identifies one queue endpoint: either an NF's input queue or the wire
+/// from an NF towards one downstream NF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueueRef {
+    /// The single input queue of an NF.
+    Input(NfId),
+    /// The output towards a specific downstream NF.
+    Output { from: NfId, to: NfId },
+}
+
+/// One batch read from an input queue: "timestamps when an NF reads a batch
+/// of packets" plus "the batch size" (Table 1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RxBatch {
+    /// Time the NF read the batch.
+    pub ts: Nanos,
+    /// IPIDs of the packets in the batch, in queue order.
+    pub ipids: Vec<Ipid>,
+}
+
+impl RxBatch {
+    /// Batch size.
+    pub fn len(&self) -> usize {
+        self.ipids.len()
+    }
+
+    /// True for a zero-size poll (we do not record those, but decoding can
+    /// produce them defensively).
+    pub fn is_empty(&self) -> bool {
+        self.ipids.is_empty()
+    }
+
+    /// Did this read drain the queue? (§5: batch < max ⇒ queue cleared.)
+    pub fn drained_queue(&self) -> bool {
+        self.ipids.len() < MAX_BATCH
+    }
+}
+
+/// One batch written towards a downstream NF.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxBatch {
+    /// Time the NF wrote the batch.
+    pub ts: Nanos,
+    /// The downstream NF the batch was sent to, or `None` when the packets
+    /// leave the NF graph (exit NF output).
+    pub to: Option<NfId>,
+    /// IPIDs of the packets in the batch, in wire order.
+    pub ipids: Vec<Ipid>,
+}
+
+impl TxBatch {
+    /// Batch size.
+    pub fn len(&self) -> usize {
+        self.ipids.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ipids.is_empty()
+    }
+}
+
+/// Five-tuple record kept at flow-info points (exit NFs / source), in
+/// emission order so it can be zipped with the IPID stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// IPID of the packet.
+    pub ipid: Ipid,
+    /// Its exact flow key.
+    pub flow: FiveTuple,
+    /// When it was seen at the flow-info point.
+    pub ts: Nanos,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rx_batch_drained_signal() {
+        let full = RxBatch {
+            ts: 0,
+            ipids: vec![0; MAX_BATCH],
+        };
+        let partial = RxBatch {
+            ts: 0,
+            ipids: vec![0; MAX_BATCH - 1],
+        };
+        assert!(!full.drained_queue());
+        assert!(partial.drained_queue());
+    }
+
+    #[test]
+    fn batch_lengths() {
+        let b = TxBatch {
+            ts: 1,
+            to: Some(NfId(2)),
+            ipids: vec![1, 2, 3],
+        };
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+}

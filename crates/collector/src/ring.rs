@@ -1,0 +1,344 @@
+//! A lock-free single-producer / single-consumer ring buffer.
+//!
+//! Models the paper's shared-memory channel between the in-NF collector hook
+//! (producer, on the packet-processing core) and the standalone dumper
+//! process (consumer). The hot-path `push` is wait-free: one relaxed load,
+//! one acquire load, one release store. When the ring is full the record is
+//! dropped and counted — exactly the behaviour you want on a data plane
+//! (never block the NF for telemetry).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Fixed-capacity SPSC ring. `T` moves through the ring by value.
+///
+/// Safety contract: at most one thread calls [`push`](SpscRing::push) and at
+/// most one (other) thread calls [`pop`](SpscRing::pop) concurrently. The
+/// type is `Sync` so it can be shared via `Arc`.
+pub struct SpscRing<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot to write (only advanced by the producer).
+    head: AtomicUsize,
+    /// Next slot to read (only advanced by the consumer).
+    tail: AtomicUsize,
+    /// Records dropped because the ring was full.
+    dropped: AtomicU64,
+    capacity: usize,
+}
+
+// SAFETY: access to each slot is handed off between producer and consumer
+// through the head/tail acquire/release protocol below.
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+unsafe impl<T: Send> Send for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// Creates a ring that can hold `capacity` elements. Panics if
+    /// `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        let buf: Vec<UnsafeCell<MaybeUninit<T>>> = (0..capacity + 1)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Self {
+            buf: buf.into_boxed_slice(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            capacity: capacity + 1,
+        }
+    }
+
+    #[inline]
+    fn next(&self, i: usize) -> usize {
+        let n = i + 1;
+        if n == self.capacity {
+            0
+        } else {
+            n
+        }
+    }
+
+    /// Producer side: enqueue `v`. Returns `Err(v)` (and bumps the drop
+    /// counter) when the ring is full. Wait-free.
+    pub fn push(&self, v: T) -> Result<(), T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let next = self.next(head);
+        if next == self.tail.load(Ordering::Acquire) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return Err(v);
+        }
+        // SAFETY: slot `head` is owned by the producer until the release
+        // store below publishes it.
+        unsafe {
+            (*self.buf[head].get()).write(v);
+        }
+        self.head.store(next, Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer side: dequeue one element if available. Wait-free.
+    pub fn pop(&self) -> Option<T> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        if tail == self.head.load(Ordering::Acquire) {
+            return None;
+        }
+        // SAFETY: the producer's release store made this slot visible, and
+        // the producer will not touch it again until we advance tail.
+        let v = unsafe { (*self.buf[tail].get()).assume_init_read() };
+        self.tail.store(self.next(tail), Ordering::Release);
+        Some(v)
+    }
+
+    /// Number of elements currently queued (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head >= tail {
+            head - tail
+        } else {
+            head + self.capacity - tail
+        }
+    }
+
+    /// True when no elements are queued (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many records were dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        // Drain remaining initialised slots so `T`'s destructors run.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let r = SpscRing::new(8);
+        for i in 0..5 {
+            r.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(r.pop(), Some(i));
+        }
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts() {
+        let r = SpscRing::new(2);
+        assert!(r.push(1).is_ok());
+        assert!(r.push(2).is_ok());
+        assert_eq!(r.push(3), Err(3));
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.pop(), Some(1));
+        assert!(r.push(3).is_ok());
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let r = SpscRing::new(4);
+        assert!(r.is_empty());
+        r.push(1).unwrap();
+        r.push(2).unwrap();
+        assert_eq!(r.len(), 2);
+        r.pop().unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn wraps_around() {
+        let r = SpscRing::new(3);
+        for round in 0..10 {
+            r.push(round * 2).unwrap();
+            r.push(round * 2 + 1).unwrap();
+            assert_eq!(r.pop(), Some(round * 2));
+            assert_eq!(r.pop(), Some(round * 2 + 1));
+        }
+    }
+
+    #[test]
+    fn drops_run_destructors() {
+        let token = Arc::new(());
+        let r = SpscRing::new(4);
+        r.push(token.clone()).unwrap();
+        r.push(token.clone()).unwrap();
+        assert_eq!(Arc::strong_count(&token), 3);
+        drop(r);
+        assert_eq!(Arc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn cross_thread_stream() {
+        let r = Arc::new(SpscRing::new(64));
+        let n = 20_000u64;
+        let producer = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                let mut sent = 0u64;
+                let mut i = 0u64;
+                while i < n {
+                    if r.push(i).is_ok() {
+                        sent += 1;
+                        i += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                sent
+            })
+        };
+        let mut got = Vec::new();
+        while got.len() < n as usize {
+            if let Some(v) = r.pop() {
+                got.push(v);
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        assert_eq!(producer.join().unwrap(), n);
+        // Strict FIFO: the stream must be exactly 0..n.
+        assert!(got.iter().copied().eq(0..n));
+    }
+}
+
+/// The standalone dumper of §5: a thread that drains an [`SpscRing`] into a
+/// sink while the NF's hot path keeps pushing.
+///
+/// The paper's collector "writes the data to shared memory where it is
+/// picked up by a standalone dumper for storing on the disk"; here the
+/// shared memory is the ring and the sink is any `FnMut(T)` (tests collect
+/// into a vector, a real deployment would write `bundle_io` chunks).
+pub struct Dumper<T: Send + 'static> {
+    ring: std::sync::Arc<SpscRing<T>>,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl<T: Send + 'static> Dumper<T> {
+    /// Spawns the dumper thread. `sink` is called once per drained record;
+    /// it runs on the dumper thread, never on the producer's.
+    pub fn spawn<F>(ring: std::sync::Arc<SpscRing<T>>, mut sink: F) -> Self
+    where
+        F: FnMut(T) + Send + 'static,
+    {
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let handle = {
+            let ring = std::sync::Arc::clone(&ring);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut drained = 0u64;
+                loop {
+                    match ring.pop() {
+                        Some(v) => {
+                            sink(v);
+                            drained += 1;
+                        }
+                        None => {
+                            if stop.load(std::sync::atomic::Ordering::Acquire) {
+                                // Final drain: the producer has stopped.
+                                while let Some(v) = ring.pop() {
+                                    sink(v);
+                                    drained += 1;
+                                }
+                                return drained;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            })
+        };
+        Self {
+            ring,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// The shared ring (for the producer side).
+    pub fn ring(&self) -> &std::sync::Arc<SpscRing<T>> {
+        &self.ring
+    }
+
+    /// Stops the dumper after a final drain and returns how many records it
+    /// wrote.
+    pub fn finish(mut self) -> u64 {
+        self.stop.store(true, std::sync::atomic::Ordering::Release);
+        self.handle
+            .take()
+            .expect("finish called once")
+            .join()
+            .expect("dumper thread never panics")
+    }
+}
+
+impl<T: Send + 'static> Drop for Dumper<T> {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod dumper_tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn dumper_drains_everything_in_order() {
+        let ring = Arc::new(SpscRing::new(128));
+        let sink: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink2 = Arc::clone(&sink);
+        let dumper = Dumper::spawn(Arc::clone(&ring), move |v| sink2.lock().push(v));
+        let n = 20_000u64;
+        let mut i = 0;
+        while i < n {
+            if ring.push(i).is_ok() {
+                i += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let drained = dumper.finish();
+        assert_eq!(drained, n);
+        let got = sink.lock();
+        assert!(got.iter().copied().eq(0..n), "order preserved");
+    }
+
+    #[test]
+    fn drop_without_finish_still_joins() {
+        let ring: Arc<SpscRing<u32>> = Arc::new(SpscRing::new(8));
+        let dumper = Dumper::spawn(Arc::clone(&ring), |_| {});
+        ring.push(1).unwrap();
+        drop(dumper); // must not hang or leak the thread
+    }
+
+    #[test]
+    fn final_drain_catches_records_pushed_before_stop() {
+        let ring = Arc::new(SpscRing::new(1024));
+        let sink: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink2 = Arc::clone(&sink);
+        let dumper = Dumper::spawn(Arc::clone(&ring), move |v| sink2.lock().push(v));
+        for i in 0..100u32 {
+            ring.push(i).unwrap();
+        }
+        assert_eq!(dumper.finish(), 100);
+        assert_eq!(sink.lock().len(), 100);
+    }
+}

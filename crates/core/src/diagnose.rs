@@ -1,0 +1,546 @@
+//! The recursive diagnosis driver (§4.3) and the [`Microscope`] facade.
+
+use crate::local::local_scores;
+use crate::propagation::attribute_upstream;
+use crate::victim::{find_victims, Victim, VictimConfig};
+use msc_trace::{ArrivalKind, Reconstruction, Timelines};
+use nf_types::{FiveTuple, Interval, Nanos, NfId, NodeId, Topology};
+use std::collections::HashMap;
+
+/// How a culprit contributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CulpritKind {
+    /// The node processed packets slower than its peak rate (interrupt,
+    /// cache misses, a bug's slow path...). Never applies to the source.
+    LocalProcessing,
+    /// The node *is* the traffic source and offered a burst.
+    SourceBurst,
+}
+
+/// One culprit of one victim, with its share of the blame.
+#[derive(Debug, Clone)]
+pub struct Culprit {
+    /// The culprit node.
+    pub node: NodeId,
+    /// Local slowdown or source burst.
+    pub kind: CulpritKind,
+    /// Blame mass in packets (fractions of the victim's queue length).
+    pub score: f64,
+    /// The queuing period (or burst window) this blame was derived from —
+    /// the culprit's activity window (Fig. 15 measures victim − culprit
+    /// gaps from this).
+    pub window: Interval,
+    /// Flows of the culprit packets with packet counts (capped), for
+    /// pattern aggregation. Empty when no flow information applies.
+    pub flows: Vec<(FiveTuple, f64)>,
+}
+
+/// A diagnosed victim: ranked culprits.
+#[derive(Debug, Clone)]
+pub struct Diagnosis {
+    /// The victim.
+    pub victim: Victim,
+    /// Culprits sorted by descending score, merged per (node, kind).
+    pub culprits: Vec<Culprit>,
+    /// How many recursion steps the diagnosis took.
+    pub recursions: usize,
+}
+
+/// Diagnosis configuration.
+#[derive(Debug, Clone)]
+pub struct DiagnosisConfig {
+    /// Victim selection.
+    pub victims: VictimConfig,
+    /// Stop attributing/recursing below this blame fraction (each victim
+    /// starts with a total blame of 1.0 that splits across culprits). Keep
+    /// this well under `1 / max_upstream_fanout` or multi-path propagation
+    /// gets pruned at merge-heavy NFs.
+    pub min_score: f64,
+    /// Hard recursion-depth cap (safety net; the paper's bound is the sum
+    /// of upstream counts and is set automatically from the topology).
+    pub max_depth: usize,
+    /// Cap on distinct flows reported per culprit.
+    pub max_flows_per_culprit: usize,
+}
+
+impl Default for DiagnosisConfig {
+    fn default() -> Self {
+        Self {
+            victims: VictimConfig::default(),
+            min_score: 0.02,
+            max_depth: 16,
+            max_flows_per_culprit: 64,
+        }
+    }
+}
+
+/// The Microscope diagnosis engine.
+///
+/// Construct once per deployment with the topology and the offline-measured
+/// peak rates `r_i` (§4.1 footnote: stress-test each NF offline), then call
+/// [`Microscope::diagnose_all`] on each run's reconstruction.
+pub struct Microscope {
+    topology: Topology,
+    /// Peak processing rate per NF, packets/second.
+    peak_rates: Vec<f64>,
+    cfg: DiagnosisConfig,
+}
+
+impl Microscope {
+    /// Creates the engine. `peak_rates[i]` is `r_i` for `NfId(i)`.
+    pub fn new(topology: Topology, peak_rates: Vec<f64>, cfg: DiagnosisConfig) -> Self {
+        assert_eq!(
+            peak_rates.len(),
+            topology.len(),
+            "need one peak rate per NF"
+        );
+        assert!(peak_rates.iter().all(|&r| r > 0.0));
+        Self {
+            topology,
+            peak_rates,
+            cfg,
+        }
+    }
+
+    /// The topology this engine diagnoses.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Finds and diagnoses all victims in a run.
+    pub fn diagnose_all(&self, recon: &Reconstruction, timelines: &Timelines) -> Vec<Diagnosis> {
+        find_victims(recon, &self.cfg.victims)
+            .into_iter()
+            .map(|v| self.diagnose(recon, timelines, v))
+            .collect()
+    }
+
+    /// Diagnoses one victim.
+    pub fn diagnose(
+        &self,
+        recon: &Reconstruction,
+        timelines: &Timelines,
+        victim: Victim,
+    ) -> Diagnosis {
+        let mut acc: HashMap<(NodeId, u8), Culprit> = HashMap::new();
+        let mut recursions = 0usize;
+        let mut visited: Vec<(NfId, Nanos)> = Vec::new();
+        self.attribute(
+            recon,
+            timelines,
+            victim.nf,
+            victim.arrival_ts,
+            1.0,
+            0,
+            &mut acc,
+            &mut recursions,
+            &mut visited,
+        );
+        let mut culprits: Vec<Culprit> = acc.into_values().collect();
+        culprits.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+        Diagnosis {
+            victim,
+            culprits,
+            recursions,
+        }
+    }
+
+    /// Recursive core: diagnoses the queuing period found at `nf` by a
+    /// packet arriving at `t`, distributing `weight` (the victim's blame
+    /// mass routed here) into local and upstream culprits.
+    #[allow(clippy::too_many_arguments)]
+    fn attribute(
+        &self,
+        recon: &Reconstruction,
+        timelines: &Timelines,
+        nf: NfId,
+        t: Nanos,
+        weight: f64,
+        depth: usize,
+        acc: &mut HashMap<(NodeId, u8), Culprit>,
+        recursions: &mut usize,
+        visited: &mut Vec<(NfId, Nanos)>,
+    ) {
+        if weight < self.cfg.min_score || depth > self.cfg.max_depth {
+            return;
+        }
+        let timeline = timelines.nf(nf);
+        let qp = timeline.queuing_period(t);
+
+        // Flows present in the queuing period (culprit packets for local
+        // blame: the packets whose processing was slow / who filled the
+        // queue).
+        let preset_flows = self.preset_flows(recon, timelines, nf, &qp.preset);
+
+        if qp.is_empty() || qp.queue_len() <= 0 {
+            // No queue: the packet was delayed inside the NF itself
+            // (misbehaving NF, §7) — all blame local.
+            self.add(
+                acc,
+                Culprit {
+                    node: NodeId::Nf(nf),
+                    kind: CulpritKind::LocalProcessing,
+                    score: weight,
+                    window: qp.interval,
+                    flows: preset_flows,
+                },
+            );
+            return;
+        }
+
+        let scores = local_scores(&qp, self.peak_rates[nf.0 as usize]);
+        let total = scores.total().max(f64::EPSILON);
+        let local_share = weight * (scores.sp.max(0.0) / total);
+        let input_share = weight * (scores.si.max(0.0) / total);
+
+        if local_share >= self.cfg.min_score {
+            self.add(
+                acc,
+                Culprit {
+                    node: NodeId::Nf(nf),
+                    kind: CulpritKind::LocalProcessing,
+                    score: local_share,
+                    window: qp.interval,
+                    flows: preset_flows.clone(),
+                },
+            );
+        }
+
+        if input_share < self.cfg.min_score {
+            return;
+        }
+
+        // §4.2: split the input share across upstream nodes by timespan
+        // reduction.
+        let shares = attribute_upstream(
+            recon,
+            timeline,
+            &qp.preset,
+            nf,
+            self.peak_rates[nf.0 as usize],
+        );
+        if shares.is_empty() {
+            // PreSet unresolvable: keep the blame at this NF's input —
+            // attribute to source as a catch-all.
+            self.add(
+                acc,
+                Culprit {
+                    node: NodeId::Source,
+                    kind: CulpritKind::SourceBurst,
+                    score: input_share,
+                    window: qp.interval,
+                    flows: preset_flows,
+                },
+            );
+            return;
+        }
+        for share in shares {
+            let s = input_share * share.fraction;
+            if s < self.cfg.min_score {
+                continue;
+            }
+            match share.node {
+                NodeId::Source => {
+                    self.add(
+                        acc,
+                        Culprit {
+                            node: NodeId::Source,
+                            kind: CulpritKind::SourceBurst,
+                            score: s,
+                            window: Interval::new(
+                                share.first_arrival.unwrap_or(qp.interval.start),
+                                qp.interval.end,
+                            ),
+                            flows: preset_flows.clone(),
+                        },
+                    );
+                }
+                NodeId::Nf(up) => {
+                    // §4.3: recursively diagnose the queuing period the
+                    // PreSet packets experienced at the upstream NF. The
+                    // period is anchored at the *last* PreSet arrival there:
+                    // it reaches back past the first PreSet arrival to the
+                    // previous queue-empty point, so it covers both packets
+                    // already queued ahead (Fig. 6's grey packets at C) and
+                    // the build-up behind an interrupt at that NF.
+                    let anchor = share.last_arrival.unwrap_or(qp.interval.start);
+                    if visited.contains(&(up, anchor)) {
+                        // Already expanded this (NF, period): credit the NF
+                        // locally instead of looping.
+                        self.add(
+                            acc,
+                            Culprit {
+                                node: NodeId::Nf(up),
+                                kind: CulpritKind::LocalProcessing,
+                                score: s,
+                                window: qp.interval,
+                                flows: Vec::new(),
+                            },
+                        );
+                        continue;
+                    }
+                    visited.push((up, anchor));
+                    *recursions += 1;
+                    self.attribute(
+                        recon, timelines, up, anchor, s, depth + 1, acc, recursions, visited,
+                    );
+                }
+            }
+        }
+    }
+
+    /// The flows of PreSet packets with packet counts, capped.
+    fn preset_flows(
+        &self,
+        recon: &Reconstruction,
+        timelines: &Timelines,
+        nf: NfId,
+        preset: &std::ops::Range<usize>,
+    ) -> Vec<(FiveTuple, f64)> {
+        let timeline = timelines.nf(nf);
+        let mut counts: HashMap<FiveTuple, f64> = HashMap::new();
+        // Sample huge presets (wild-run periods can hold 10^5+ arrivals);
+        // per-flow weights stay proportional under a uniform stride.
+        const MAX_PRESET_SAMPLES: usize = 16_384;
+        let stride = (preset.len() / MAX_PRESET_SAMPLES).max(1);
+        for a in timeline.arrivals[preset.clone()].iter().step_by(stride) {
+            if a.kind != ArrivalKind::Queued {
+                continue;
+            }
+            let flow = recon.traces[a.trace].flow;
+            *counts.entry(flow).or_insert(0.0) += stride as f64;
+        }
+        let mut v: Vec<(FiveTuple, f64)> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite counts"));
+        v.truncate(self.cfg.max_flows_per_culprit);
+        v
+    }
+
+    fn add(&self, acc: &mut HashMap<(NodeId, u8), Culprit>, c: Culprit) {
+        let kind_tag = match c.kind {
+            CulpritKind::LocalProcessing => 0u8,
+            CulpritKind::SourceBurst => 1,
+        };
+        match acc.entry((c.node, kind_tag)) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(c);
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let cur = e.get_mut();
+                cur.score += c.score;
+                cur.window = cur.window.hull(&c.window);
+                for (f, w) in c.flows {
+                    match cur.flows.iter_mut().find(|(g, _)| *g == f) {
+                        Some((_, cw)) => *cw += w,
+                        None => {
+                            if cur.flows.len() < self.cfg.max_flows_per_culprit {
+                                cur.flows.push((f, w));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::victim::VictimKind;
+    use msc_collector::{Collector, CollectorConfig, PacketMeta};
+    use msc_trace::{reconstruct, ReconstructionConfig};
+    use nf_types::{NfKind, Proto};
+
+    /// Hand-built scenario: a NAT→VPN chain where the VPN's queue builds
+    /// because the NAT released a squeezed burst after an interrupt.
+    /// Peak rates: both 1 Mpps (1 µs/packet).
+    fn build_interrupt_scenario() -> (Topology, Reconstruction) {
+        let mut b = Topology::builder();
+        let nat = b.add_nf(NfKind::Nat, "nat1");
+        let vpn = b.add_nf(NfKind::Vpn, "vpn1");
+        b.add_entry(nat);
+        b.add_edge(nat, vpn);
+        let topo = b.build().unwrap();
+
+        let mut c = Collector::new(&topo, CollectorConfig::default());
+        let metas: Vec<PacketMeta> = (0..64u16)
+            .map(|i| PacketMeta {
+                ipid: i,
+                flow: FiveTuple::new(0x0a000001, 0x14000001, 1000 + i, 80, Proto::TCP),
+            })
+            .collect();
+        // Source emits 64 packets spread over 6.4 ms (100 µs apart) — well
+        // under peak.
+        for (i, m) in metas.iter().enumerate() {
+            c.record_source(i as u64 * 100_000, m);
+        }
+        // NAT is interrupted until t = 7 ms: it reads everything in two
+        // 32-batches and releases them squeezed back-to-back.
+        c.record_rx(nat, 7_000_000, &metas[..32]);
+        c.record_rx(nat, 7_100_000, &metas[32..]);
+        c.record_tx(nat, 7_100_000, Some(vpn), &metas[..32]);
+        c.record_tx(nat, 7_100_100, Some(vpn), &metas[32..]);
+        // VPN receives the squeezed burst: its queue holds the second
+        // batch while it drains the first at its 1 µs/packet pace.
+        c.record_rx(vpn, 7_100_000, &metas[..32]);
+        c.record_rx(vpn, 7_132_000, &metas[32..]);
+        c.record_tx(vpn, 7_132_000, None, &metas[..32]);
+        c.record_tx(vpn, 7_164_000, None, &metas[32..]);
+        let recon = reconstruct(&topo, &c.into_bundle(), &ReconstructionConfig::default());
+        (topo, recon)
+    }
+
+    #[test]
+    fn interrupt_blame_propagates_to_upstream_nat() {
+        let (topo, recon) = build_interrupt_scenario();
+        let timelines = Timelines::build(&recon);
+        let ms = Microscope::new(
+            topo,
+            vec![1e6, 1e6],
+            DiagnosisConfig {
+                victims: VictimConfig {
+                    latency: crate::victim::LatencyThreshold::Absolute(0),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        // Diagnose the last packet at the VPN: it arrived just behind the
+        // squeezed burst and found a queue (the whole second batch).
+        let victim = Victim {
+            trace: 63,
+            nf: NfId(1),
+            hop: 1,
+            arrival_ts: 7_100_100,
+            observed_ts: 7_164_000,
+            kind: VictimKind::HighLatency,
+        };
+        let d = ms.diagnose(&recon, &timelines, victim);
+        assert!(!d.culprits.is_empty());
+        // The top culprit must be the NAT (its squeezed release caused the
+        // VPN queue), not the VPN itself and not the source (which sent at
+        // a tame 10 kpps).
+        let top = &d.culprits[0];
+        assert_eq!(
+            top.node,
+            NodeId::Nf(NfId(0)),
+            "culprits: {:?}",
+            d.culprits
+                .iter()
+                .map(|c| (c.node, c.kind, c.score))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(top.kind, CulpritKind::LocalProcessing);
+        assert!(d.recursions >= 1, "must have recursed into the NAT");
+    }
+
+    #[test]
+    fn source_burst_blamed_at_entry_nf() {
+        // Source sends 64 packets back-to-back (50 ns apart = 20 Mpps) into
+        // a 1 Mpps NAT: the queue is the source's fault.
+        let mut b = Topology::builder();
+        let nat = b.add_nf(NfKind::Nat, "nat1");
+        b.add_entry(nat);
+        let topo = b.build().unwrap();
+        let mut c = Collector::new(&topo, CollectorConfig::default());
+        let metas: Vec<PacketMeta> = (0..64u16)
+            .map(|i| PacketMeta {
+                ipid: i,
+                flow: FiveTuple::new(0x0a000001, 0x14000001, 7777, 80, Proto::TCP),
+            })
+            .collect();
+        for (i, m) in metas.iter().enumerate() {
+            c.record_source(1_000_000 + i as u64 * 50, m);
+        }
+        c.record_rx(nat, 1_000_100, &metas[..32]);
+        c.record_rx(nat, 1_032_100, &metas[32..]);
+        c.record_tx(nat, 1_032_100, None, &metas[..32]);
+        c.record_tx(nat, 1_064_100, None, &metas[32..]);
+        let recon = reconstruct(&topo, &c.into_bundle(), &ReconstructionConfig::default());
+        let timelines = Timelines::build(&recon);
+        let ms = Microscope::new(topo, vec![1e6], DiagnosisConfig::default());
+        let victim = Victim {
+            trace: 63,
+            nf: NfId(0),
+            hop: 0,
+            arrival_ts: 1_000_000 + 63 * 50,
+            observed_ts: 1_064_100,
+            kind: VictimKind::HighLatency,
+        };
+        let d = ms.diagnose(&recon, &timelines, victim);
+        let top = &d.culprits[0];
+        assert_eq!(top.node, NodeId::Source, "culprits: {:?}", d.culprits);
+        assert_eq!(top.kind, CulpritKind::SourceBurst);
+        // The culprit flows contain the bursting flow.
+        assert!(top.flows.iter().any(|(f, _)| f.src_port == 7777));
+    }
+
+    #[test]
+    fn slow_local_nf_blamed_locally() {
+        // Source sends at a gentle 100 kpps, but the NF only manages
+        // ~100 packets in 3.2 ms (peak says 3200): local problem.
+        let mut b = Topology::builder();
+        let nat = b.add_nf(NfKind::Nat, "nat1");
+        b.add_entry(nat);
+        let topo = b.build().unwrap();
+        let mut c = Collector::new(&topo, CollectorConfig::default());
+        let metas: Vec<PacketMeta> = (0..64u16)
+            .map(|i| PacketMeta {
+                ipid: i,
+                flow: FiveTuple::new(0x0a000001, 0x14000001, 1000 + i, 80, Proto::TCP),
+            })
+            .collect();
+        // 10 µs apart = 100 kpps, from t=1ms.
+        for (i, m) in metas.iter().enumerate() {
+            c.record_source(1_000_000 + i as u64 * 10_000, m);
+        }
+        // The NF reads them very slowly — one small batch every 200 µs
+        // (but never drains the queue: batch == 32 means "not drained", so
+        // use full batches late).
+        c.record_rx(nat, 1_500_000, &metas[..32]);
+        c.record_rx(nat, 2_200_000, &metas[32..]);
+        c.record_tx(nat, 2_200_000, None, &metas[..32]);
+        c.record_tx(nat, 2_900_000, None, &metas[32..]);
+        let recon = reconstruct(&topo, &c.into_bundle(), &ReconstructionConfig::default());
+        let timelines = Timelines::build(&recon);
+        let ms = Microscope::new(topo, vec![1e6], DiagnosisConfig::default());
+        let victim = Victim {
+            trace: 63,
+            nf: NfId(0),
+            hop: 0,
+            arrival_ts: 1_000_000 + 63 * 10_000,
+            observed_ts: 2_900_000,
+            kind: VictimKind::HighLatency,
+        };
+        let d = ms.diagnose(&recon, &timelines, victim);
+        let top = &d.culprits[0];
+        assert_eq!(top.node, NodeId::Nf(NfId(0)), "culprits: {:?}", d.culprits);
+        assert_eq!(top.kind, CulpritKind::LocalProcessing);
+    }
+
+    #[test]
+    fn min_score_prunes_noise() {
+        let (topo, recon) = build_interrupt_scenario();
+        let timelines = Timelines::build(&recon);
+        let ms = Microscope::new(
+            topo,
+            vec![1e6, 1e6],
+            DiagnosisConfig {
+                min_score: 1e9, // absurd: nothing passes
+                ..Default::default()
+            },
+        );
+        let victim = Victim {
+            trace: 63,
+            nf: NfId(1),
+            hop: 1,
+            arrival_ts: 7_100_100,
+            observed_ts: 7_164_000,
+            kind: VictimKind::HighLatency,
+        };
+        let d = ms.diagnose(&recon, &timelines, victim);
+        assert!(d.culprits.is_empty());
+        assert_eq!(d.recursions, 0);
+    }
+}

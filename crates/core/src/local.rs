@@ -1,0 +1,118 @@
+//! Local diagnosis: the input-workload and processing scores of §4.1.
+
+use msc_trace::QueuingPeriod;
+
+/// The two §4.1 scores, in packets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalScores {
+    /// `Si` (eq. 1): extra input packets beyond what the NF could process at
+    /// its peak rate during the queuing period — blame upstream.
+    pub si: f64,
+    /// `Sp` (eq. 2): packets *not* processed although the peak rate allowed
+    /// it — blame the local NF (interrupts, cache misses, bugs).
+    pub sp: f64,
+}
+
+impl LocalScores {
+    /// `Si + Sp`, which equals the queue length the victim found (§4.1).
+    pub fn total(&self) -> f64 {
+        self.si + self.sp
+    }
+}
+
+/// Computes `Si` and `Sp` for a queuing period given the NF's peak
+/// processing rate `r_i` in packets/second.
+///
+/// Definitions from the paper (eqs. 1 and 2), with `n_i`/`n_p` the packets
+/// arrived/processed during the period of length `T`:
+///
+/// ```text
+/// Si = n_i − r_i·T   if n_i > r_i·T, else 0
+/// Sp = r_i·T − n_p   if n_i > r_i·T, else n_i − n_p
+/// ```
+pub fn local_scores(qp: &QueuingPeriod, peak_rate_pps: f64) -> LocalScores {
+    assert!(peak_rate_pps > 0.0, "peak rate must be positive");
+    let n_i = qp.n_arrived as f64;
+    let n_p = qp.n_processed as f64;
+    let expected = peak_rate_pps * qp.len() as f64 / 1e9;
+    if n_i > expected {
+        LocalScores {
+            si: n_i - expected,
+            sp: expected - n_p,
+        }
+    } else {
+        LocalScores {
+            si: 0.0,
+            sp: n_i - n_p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_types::Interval;
+
+    fn qp(len_ns: u64, n_arrived: u64, n_processed: u64) -> QueuingPeriod {
+        QueuingPeriod {
+            interval: Interval::new(1_000, 1_000 + len_ns),
+            preset: 0..0,
+            n_arrived,
+            n_processed,
+        }
+    }
+
+    #[test]
+    fn pure_input_burst() {
+        // 1 Mpps peak; in 100 µs the NF can do 100 packets. 300 arrived,
+        // 100 processed (NF at peak): all blame on input.
+        let s = local_scores(&qp(100_000, 300, 100), 1e6);
+        assert!((s.si - 200.0).abs() < 1e-9);
+        assert!(s.sp.abs() < 1e-9);
+        assert!((s.total() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_slow_processing() {
+        // 80 arrived (under the 100 expected), only 20 processed: local.
+        let s = local_scores(&qp(100_000, 80, 20), 1e6);
+        assert_eq!(s.si, 0.0);
+        assert!((s.sp - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_blame() {
+        // 150 arrived (> 100 expected), 70 processed: Si = 50, Sp = 30.
+        let s = local_scores(&qp(100_000, 150, 70), 1e6);
+        assert!((s.si - 50.0).abs() < 1e-9);
+        assert!((s.sp - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_si_plus_sp_is_queue_length() {
+        for (n_i, n_p) in [(300u64, 100u64), (80, 20), (150, 70), (100, 100)] {
+            let q = qp(100_000, n_i, n_p);
+            let s = local_scores(&q, 1e6);
+            assert!(
+                (s.total() - q.queue_len() as f64).abs() < 1e-9,
+                "ni={n_i} np={n_p}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_period() {
+        let s = local_scores(&qp(0, 0, 0), 1e6);
+        assert_eq!(s.si, 0.0);
+        assert_eq!(s.sp, 0.0);
+    }
+
+    #[test]
+    fn sp_can_go_negative_when_nf_overperforms() {
+        // NF drained faster than its nominal peak (jitter): Sp < 0 is kept
+        // as-is; the caller clamps when splitting blame.
+        let s = local_scores(&qp(100_000, 150, 120), 1e6);
+        assert!(s.sp < 0.0);
+        assert!((s.total() - 30.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,57 @@
+//! Shared driver for the §6.2 accuracy experiments (Figs. 11–13, §6.3).
+
+use crate::inject::{InjectionPlan, PlanConfig};
+use crate::netmedic_adapter::build_history;
+use crate::runner::{candidate_flows, run_spec, RunResult, RunSpec};
+use crate::scoring::{score_run, ScoredVictim};
+use netmedic::{NetMedic, NetMedicConfig};
+use nf_types::{paper_topology, Nanos};
+
+/// Runs the standard accuracy experiment: paper topology, CAIDA-like
+/// background, randomised injections, Microscope + NetMedic scoring.
+pub struct AccuracyRun {
+    /// The run itself (ground truth, reconstruction, diagnoses).
+    pub run: RunResult,
+    /// Per-victim ranks for both tools.
+    pub scored: Vec<ScoredVictim>,
+}
+
+/// Executes one accuracy run.
+pub fn accuracy_run(
+    duration: Nanos,
+    rate_pps: f64,
+    seed: u64,
+    plan_cfg: &PlanConfig,
+    max_victims: usize,
+    nm_window: Nanos,
+) -> AccuracyRun {
+    let mut spec = RunSpec::new(duration, rate_pps, seed);
+    spec.diagnosis.victims.max_victims = Some(max_victims);
+    let flows = candidate_flows(rate_pps, seed);
+    spec.plan = InjectionPlan::random(&paper_topology(), duration, &flows, plan_cfg, seed);
+    let run = run_spec(&spec);
+
+    let nm = NetMedic::new(
+        run.topology.clone(),
+        NetMedicConfig {
+            window_ns: nm_window,
+            ..Default::default()
+        },
+    );
+    let hist = build_history(&run.out, run.topology.len(), &run.peak_rates, nm_window);
+    let scored = score_run(&run, &nm, &hist);
+    AccuracyRun { run, scored }
+}
+
+/// Re-scores an existing run with a different NetMedic window (Fig. 13).
+pub fn rescore_with_window(run: &RunResult, window_ns: Nanos) -> Vec<ScoredVictim> {
+    let nm = NetMedic::new(
+        run.topology.clone(),
+        NetMedicConfig {
+            window_ns,
+            ..Default::default()
+        },
+    );
+    let hist = build_history(&run.out, run.topology.len(), &run.peak_rates, window_ns);
+    score_run(run, &nm, &hist)
+}

@@ -1,0 +1,69 @@
+//! Figure 11: overall diagnostic accuracy of Microscope vs NetMedic.
+//!
+//! Paper result: Microscope ranks the correct cause first for 89.7% of
+//! victim packets; NetMedic only 36% (and ≤5 for 66%). We regenerate the
+//! rank CDF for both tools on the 16-NF topology with injected bursts,
+//! interrupts and a firewall bug.
+
+use msc_experiments::accuracy::accuracy_run;
+use msc_experiments::cli::{write_csv, Args};
+use msc_experiments::inject::PlanConfig;
+use msc_experiments::scoring::{balance_by_event, correct_rate, rank_cdf};
+use nf_types::MILLIS;
+
+fn main() {
+    let args = Args::parse(600, 1.2);
+    let acc = accuracy_run(
+        args.duration_ns(),
+        args.rate_pps(),
+        args.seed,
+        &PlanConfig::default(),
+        2_000,
+        10 * MILLIS,
+    );
+    // Balance victims across injected events so burst floods don't
+    // drown the interrupt/bug victims (paper: victims of each problem).
+    let scored = balance_by_event(&acc.scored, 150);
+    assert!(!scored.is_empty(), "no attributable victims — run longer");
+
+    let ms: Vec<usize> = scored.iter().map(|s| s.microscope_rank).collect();
+    let nm: Vec<usize> = scored.iter().map(|s| s.netmedic_rank).collect();
+
+    println!("# Fig 11: rank of the correct cause (cumulative % of victim packets)");
+    println!("{:>12} {:>12} {:>12}", "cum_pct", "microscope", "netmedic");
+    let ms_cdf = rank_cdf(&ms);
+    let nm_cdf = rank_cdf(&nm);
+    let mut rows = Vec::new();
+    for pct in (5..=100).step_by(5) {
+        let idx = ((pct as f64 / 100.0 * ms_cdf.len() as f64).ceil() as usize)
+            .clamp(1, ms_cdf.len())
+            - 1;
+        println!(
+            "{:>12} {:>12} {:>12}",
+            pct, ms_cdf[idx].1, nm_cdf[idx].1
+        );
+        rows.push(vec![
+            pct.to_string(),
+            ms_cdf[idx].1.to_string(),
+            nm_cdf[idx].1.to_string(),
+        ]);
+    }
+    write_csv(
+        &args.csv_path("fig11_rank_cdf.csv"),
+        &["cum_pct_victims", "microscope_rank", "netmedic_rank"],
+        &rows,
+    );
+
+    let ms_r1 = correct_rate(&ms) * 100.0;
+    let nm_r1 = correct_rate(&nm) * 100.0;
+    let nm_r5 = nm.iter().filter(|&&r| r <= 5).count() as f64 / nm.len() as f64 * 100.0;
+    println!("\n# Summary           paper     measured");
+    println!("victims scored      -         {}", scored.len());
+    println!("Microscope rank-1   89.7%     {ms_r1:.1}%");
+    println!("NetMedic rank-1     36%       {nm_r1:.1}%");
+    println!("NetMedic rank<=5    66%       {nm_r5:.1}%");
+    println!(
+        "improvement factor  up to 2.5x {:.1}x",
+        if nm_r1 > 0.0 { ms_r1 / nm_r1 } else { f64::INFINITY }
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 15: the culprit→victim time gap in the wild.
+//!
+//! One-minute CAIDA traffic at 1.6 Mpps in the paper; Microscope diagnoses
+//! the 99.9th-percentile latency victims (80K of them). The CDF of the gap
+//! between each causal relation's culprit activity and its victim runs from
+//! 0 to 91 ms — half under 1.5 ms, a long tail to ~91 ms — which is why no
+//! single correlation window can work.
+
+use msc_experiments::cli::{write_csv, Args};
+use msc_experiments::runner::wild_run;
+use nf_types::MILLIS;
+
+fn main() {
+    // The paper offers 1.6 Mpps, which put its crypto-bound VPNs at high
+    // utilisation. Our VPN peak is 0.633 Mpps, so 2.0 Mpps aggregate
+    // (0.5 Mpps per VPN, ~80%% util) matches the paper's *bottleneck
+    // utilisation* rather than its absolute packet rate.
+    let args = Args::parse(1_000, 2.1);
+    let run = wild_run(
+        args.duration_ns(),
+        args.rate_pps(),
+        args.seed,
+        // The paper diagnoses the 99.9th percentile of a one-minute 96M-
+        // packet run (80K victims over many problem episodes). Our runs are
+        // ~100x shorter, so the 99th percentile gives the same *breadth* of
+        // episodes rather than just the single worst stall.
+        0.99,
+    );
+
+    println!(
+        "# wild run: {} packets, {} victims diagnosed",
+        run.recon.report.total,
+        run.diagnoses.len()
+    );
+
+    // Gap of every (victim, culprit) causal relation: victim observation
+    // minus the start of the culprit's activity window.
+    let mut gaps_ms: Vec<f64> = Vec::new();
+    for d in &run.diagnoses {
+        for c in &d.culprits {
+            let gap = d.victim.observed_ts.saturating_sub(c.window.start);
+            gaps_ms.push(gap as f64 / MILLIS as f64);
+        }
+    }
+    assert!(!gaps_ms.is_empty(), "no causal relations — raise --millis");
+    gaps_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite gaps"));
+
+    println!("\n# Fig 15: CDF of the culprit->victim time gap");
+    println!("{:>8} {:>10}", "cdf", "gap_ms");
+    let mut rows = Vec::new();
+    for pct in [1, 5, 10, 25, 50, 75, 90, 95, 99, 100] {
+        let idx = ((pct as f64 / 100.0 * gaps_ms.len() as f64).ceil() as usize)
+            .clamp(1, gaps_ms.len())
+            - 1;
+        println!("{:>7}% {:>10.3}", pct, gaps_ms[idx]);
+        rows.push(vec![pct.to_string(), format!("{:.4}", gaps_ms[idx])]);
+    }
+    write_csv(&args.csv_path("fig15_timegap_cdf.csv"), &["cdf_pct", "gap_ms"], &rows);
+
+    let median = gaps_ms[gaps_ms.len() / 2];
+    let max = *gaps_ms.last().expect("non-empty");
+    println!("\n# Summary (paper: half under 1.5 ms, long tail reaching 91 ms)");
+    println!("median gap {median:.2} ms, max gap {max:.2} ms, {} relations", gaps_ms.len());
+}

@@ -1,0 +1,113 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+//!
+//! All binaries accept the same knobs:
+//!
+//! ```text
+//! --millis N    simulated run length in milliseconds
+//! --rate R      aggregate offered rate in Mpps (e.g. 1.2)
+//! --seed S      RNG seed
+//! --out DIR     CSV output directory (default: results)
+//! ```
+
+use std::path::PathBuf;
+
+/// Parsed common arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Simulated duration in milliseconds.
+    pub millis: u64,
+    /// Offered rate in Mpps.
+    pub rate_mpps: f64,
+    /// Seed.
+    pub seed: u64,
+    /// CSV output directory.
+    pub out: PathBuf,
+}
+
+impl Args {
+    /// Parses `std::env::args`, with per-binary defaults.
+    pub fn parse(default_millis: u64, default_rate_mpps: f64) -> Args {
+        let mut args = Args {
+            millis: default_millis,
+            rate_mpps: default_rate_mpps,
+            seed: 42,
+            out: PathBuf::from("results"),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            let mut val = || {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value after {a}"))
+            };
+            match a.as_str() {
+                "--millis" => args.millis = val().parse().expect("--millis takes an integer"),
+                "--rate" => args.rate_mpps = val().parse().expect("--rate takes a float (Mpps)"),
+                "--seed" => args.seed = val().parse().expect("--seed takes an integer"),
+                "--out" => args.out = PathBuf::from(val()),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --millis N  --rate MPPS  --seed S  --out DIR\n\
+                         defaults: --millis {default_millis} --rate {default_rate_mpps} --seed 42 --out results"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other}"),
+            }
+        }
+        args
+    }
+
+    /// Duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.millis * nf_types::MILLIS
+    }
+
+    /// Rate in pps.
+    pub fn rate_pps(&self) -> f64 {
+        self.rate_mpps * 1e6
+    }
+
+    /// Ensures the output directory exists and returns the path of a CSV
+    /// file inside it.
+    pub fn csv_path(&self, name: &str) -> PathBuf {
+        std::fs::create_dir_all(&self.out).expect("create output dir");
+        self.out.join(name)
+    }
+}
+
+/// Writes rows to a CSV file (first row = header).
+pub fn write_csv(path: &std::path::Path, header: &[&str], rows: &[Vec<String>]) {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for r in rows {
+        writeln!(f, "{}", r.join(",")).expect("write row");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_conversions() {
+        let a = Args {
+            millis: 500,
+            rate_mpps: 1.2,
+            seed: 1,
+            out: PathBuf::from("/tmp/x"),
+        };
+        assert_eq!(a.duration_ns(), 500_000_000);
+        assert!((a.rate_pps() - 1_200_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn csv_writer_round_trip() {
+        let dir = std::env::temp_dir().join("msc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.csv");
+        write_csv(&p, &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(s, "a,b\n1,2\n");
+    }
+}

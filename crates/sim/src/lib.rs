@@ -1,0 +1,34 @@
+//! A deterministic discrete-event simulator of DPDK-style NF chains.
+//!
+//! This is the testbed substitute (DESIGN.md §1): the paper runs Click-DPDK
+//! NFs on two servers; we simulate the same observable behaviour —
+//! poll-mode NFs that read *batches* (up to 32 packets) from bounded input
+//! rings (1024 slots, drop-tail), process each packet at a service cost that
+//! depends on the NF type and the flow, and forward to downstream queues
+//! selected by flow-hash routing. Interrupts stall an NF's poll loop; bug
+//! rules slow specific flows down; natural jitter and cache-miss spikes
+//! provide the background noise of §6.5's "running in the wild".
+//!
+//! The simulator is seeded and fully deterministic: the same inputs always
+//! produce byte-identical collector bundles, which is what makes every
+//! experiment in `msc-experiments` reproducible.
+//!
+//! Ground truth (unique packet ids, exact per-hop timestamps, the fault
+//! journal) is recorded *next to* the collector output and never shown to
+//! the diagnosis pipeline — it is only used for scoring accuracy.
+
+pub mod engine;
+pub mod faults;
+pub mod nf;
+pub mod queue;
+pub mod scenario;
+pub mod service;
+pub mod stats;
+
+pub use engine::{SimConfig, SimOutput, Simulation};
+pub use faults::{Fault, FaultJournal, InjectedEvent};
+pub use nf::{NfConfig, RoutePolicy};
+pub use queue::{DropRecord, PacketQueue};
+pub use scenario::{paper_nf_configs, single_nf_topology, ScenarioBuilder};
+pub use service::ServiceModel;
+pub use stats::{NfStats, PacketFate, PacketOutcome};

@@ -1,0 +1,205 @@
+//! Canned topologies and NF configurations for the paper's experiments.
+
+use crate::nf::{NfConfig, RoutePolicy};
+use crate::service::ServiceModel;
+use nf_types::{
+    FlowAggregate, NfId, NfKind, PortRange, Prefix, ProtoMatch, Topology,
+};
+
+/// The firewall diversion rule used in the paper-style scenarios: HTTP
+/// traffic (dst port 80) is sent through a monitor, the rest goes straight
+/// to a VPN. With the synthetic traffic mix this diverts roughly 1/7 of
+/// flows, so monitors are lightly loaded relative to VPNs, as in Fig. 10.
+pub fn monitor_rule() -> FlowAggregate {
+    FlowAggregate {
+        src: Prefix::ANY,
+        dst: Prefix::ANY,
+        proto: ProtoMatch::Any,
+        src_port: PortRange::ANY,
+        dst_port: PortRange::exact(80),
+    }
+}
+
+/// Builds the per-NF configs for [`nf_types::paper_topology`] (Fig. 10):
+/// NATs hash-balance over all firewalls, firewalls split matched flows to
+/// monitors and the rest to VPNs, monitors hash over VPNs, VPNs exit.
+pub fn paper_nf_configs(topology: &Topology) -> Vec<NfConfig> {
+    let by_kind = |k: NfKind| -> Vec<NfId> {
+        topology
+            .nfs()
+            .iter()
+            .filter(|n| n.kind == k)
+            .map(|n| n.id)
+            .collect()
+    };
+    let fws = by_kind(NfKind::Firewall);
+    let mons = by_kind(NfKind::Monitor);
+    let vpns = by_kind(NfKind::Vpn);
+    topology
+        .nfs()
+        .iter()
+        .map(|n| {
+            let route = match n.kind {
+                NfKind::Nat => RoutePolicy::HashAcross(fws.clone()),
+                NfKind::Firewall => RoutePolicy::FirewallSplit {
+                    rule: monitor_rule(),
+                    monitors: mons.clone(),
+                    vpns: vpns.clone(),
+                },
+                NfKind::Monitor => RoutePolicy::HashAcross(vpns.clone()),
+                NfKind::Vpn => RoutePolicy::Exit,
+                NfKind::Custom(_) => RoutePolicy::Exit,
+            };
+            NfConfig::new(ServiceModel::for_kind(n.kind), route)
+        })
+        .collect()
+}
+
+/// A single-NF topology (the Fig. 1 setting: one firewall) with its config.
+pub fn single_nf_topology(kind: NfKind) -> (Topology, Vec<NfConfig>) {
+    let mut b = Topology::builder();
+    let nf = b.add_nf(kind, format!("{}1", kind.label()));
+    b.add_entry(nf);
+    let t = b.build().expect("single node is a DAG");
+    let cfg = NfConfig::new(ServiceModel::for_kind(kind), RoutePolicy::Exit);
+    (t, vec![cfg])
+}
+
+/// Fluent builder for linear chains and small custom DAGs used by examples
+/// and the Fig. 2/3 experiments.
+#[derive(Default)]
+pub struct ScenarioBuilder {
+    builder: Option<nf_types::TopologyBuilder>,
+    configs: Vec<(NfId, ServiceModel)>,
+    edges: Vec<(NfId, NfId)>,
+    entries: Vec<NfId>,
+}
+
+impl ScenarioBuilder {
+    /// Starts a new scenario.
+    pub fn new() -> Self {
+        Self {
+            builder: Some(nf_types::Topology::builder()),
+            configs: Vec::new(),
+            edges: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds an NF with the default service model for its kind.
+    pub fn nf(&mut self, kind: NfKind, name: &str) -> NfId {
+        self.nf_with(kind, name, ServiceModel::for_kind(kind))
+    }
+
+    /// Adds an NF with an explicit service model.
+    pub fn nf_with(&mut self, kind: NfKind, name: &str, model: ServiceModel) -> NfId {
+        let id = self
+            .builder
+            .as_mut()
+            .expect("builder consumed")
+            .add_nf(kind, name);
+        self.configs.push((id, model));
+        id
+    }
+
+    /// Marks an entry NF.
+    pub fn entry(&mut self, nf: NfId) -> &mut Self {
+        self.entries.push(nf);
+        self
+    }
+
+    /// Adds an edge.
+    pub fn edge(&mut self, from: NfId, to: NfId) -> &mut Self {
+        self.edges.push((from, to));
+        self
+    }
+
+    /// Builds the topology and configs. Routing: NFs with exactly one
+    /// downstream get `Fixed`, several get `HashAcross`, none get `Exit`.
+    pub fn build(mut self) -> (Topology, Vec<NfConfig>) {
+        let mut b = self.builder.take().expect("builder consumed");
+        for &e in &self.entries {
+            b.add_entry(e);
+        }
+        for &(f, t) in &self.edges {
+            b.add_edge(f, t);
+        }
+        let topo = b.build().expect("scenario topology must be a DAG");
+        let configs = self
+            .configs
+            .into_iter()
+            .map(|(id, model)| {
+                let down = topo.downstream(id);
+                let route = match down.len() {
+                    0 => RoutePolicy::Exit,
+                    1 => RoutePolicy::Fixed(down[0]),
+                    _ => RoutePolicy::HashAcross(down.to_vec()),
+                };
+                NfConfig::new(model, route)
+            })
+            .collect();
+        (topo, configs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_types::paper_topology;
+
+    #[test]
+    fn paper_configs_route_correctly() {
+        let t = paper_topology();
+        let cfgs = paper_nf_configs(&t);
+        assert_eq!(cfgs.len(), 16);
+        let nat1 = t.by_name("nat1").unwrap();
+        match &cfgs[nat1.0 as usize].route {
+            RoutePolicy::HashAcross(fws) => assert_eq!(fws.len(), 5),
+            other => panic!("nat routes {other:?}"),
+        }
+        let vpn1 = t.by_name("vpn1").unwrap();
+        assert!(matches!(cfgs[vpn1.0 as usize].route, RoutePolicy::Exit));
+        let fw1 = t.by_name("fw1").unwrap();
+        match &cfgs[fw1.0 as usize].route {
+            RoutePolicy::FirewallSplit { monitors, vpns, .. } => {
+                assert_eq!(monitors.len(), 3);
+                assert_eq!(vpns.len(), 4);
+            }
+            other => panic!("fw routes {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_nf_scenario() {
+        let (t, cfgs) = single_nf_topology(NfKind::Firewall);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.entries(), t.exits());
+        assert!(matches!(cfgs[0].route, RoutePolicy::Exit));
+    }
+
+    #[test]
+    fn scenario_builder_chain() {
+        let mut s = ScenarioBuilder::new();
+        let a = s.nf(NfKind::Nat, "nat1");
+        let v = s.nf(NfKind::Vpn, "vpn1");
+        s.entry(a);
+        s.edge(a, v);
+        let (t, cfgs) = s.build();
+        assert_eq!(t.len(), 2);
+        assert!(matches!(cfgs[0].route, RoutePolicy::Fixed(id) if id == v));
+        assert!(matches!(cfgs[1].route, RoutePolicy::Exit));
+    }
+
+    #[test]
+    fn scenario_builder_fanout_uses_hash() {
+        let mut s = ScenarioBuilder::new();
+        let a = s.nf(NfKind::Nat, "nat1");
+        let v1 = s.nf(NfKind::Vpn, "vpn1");
+        let v2 = s.nf(NfKind::Vpn, "vpn2");
+        s.entry(a);
+        s.edge(a, v1);
+        s.edge(a, v2);
+        let (_, cfgs) = s.build();
+        assert!(matches!(&cfgs[0].route, RoutePolicy::HashAcross(v) if v.len() == 2));
+    }
+}

@@ -1,0 +1,38 @@
+//! Offline trace reconstruction (§5 of the paper).
+//!
+//! The collector's records are deliberately lossy: interior NFs identify
+//! packets only by their 16-bit IPID, so two packets with the same IPID can
+//! be confused. This crate rebuilds the per-packet journeys across the DAG
+//! using the paper's three side channels:
+//!
+//! 1. **Paths** — a downstream NF's input can only contain packets sent by
+//!    its direct upstream NFs (and the source, whose load-balancer hash the
+//!    operator knows), so matching only ever considers those streams
+//!    ([`streams`]).
+//! 2. **Timing** — a packet is read after it was sent upstream and within a
+//!    bounded queueing delay, so candidates outside the delay bound are
+//!    rejected ([`matching`]).
+//! 3. **Order** — NF rings are FIFO, so the read sequence at a downstream NF
+//!    is an order-preserving merge of its upstream send sequences with
+//!    dropped packets removed; matching is therefore an ordered alignment,
+//!    which is how the Fig. 9 ambiguity is resolved ([`matching`]).
+//!
+//! On top of the per-packet traces, [`timeline`] builds what the diagnosis
+//! core actually consumes: per-NF arrival/read/send timelines and the
+//! *queuing periods* inferred from the batch-size signal (a read of fewer
+//! than [`msc_collector::MAX_BATCH`] packets means the ring was drained).
+
+pub mod matching;
+pub mod reconstruct;
+pub mod skew;
+pub mod streams;
+pub mod timeline;
+
+pub use matching::{match_downstream, EdgeMatch, MatchConfig, MatchOutcome, MatchStats};
+pub use reconstruct::{
+    reconstruct, ReconstructedTrace, Reconstruction, ReconstructionConfig, ReconstructionReport,
+    TraceHop, TraceOutcome,
+};
+pub use skew::{correct_bundle, estimate_offsets, estimate_offsets_refined, SkewConfig};
+pub use streams::{EdgeStreams, PacketRef, RxBatchInfo, RxEntry, SourceEntry, TxEntry};
+pub use timeline::{Arrival, ArrivalKind, NfTimeline, QueuingPeriod, Timelines};

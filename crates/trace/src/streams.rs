@@ -1,0 +1,345 @@
+//! Flattening collector logs into matchable streams.
+//!
+//! For every NF we flatten the batched rx/tx records into ordered streams.
+//! Because NF rings are FIFO and the NFs process packets in order, the i-th
+//! packet an NF reads is the i-th packet it sends — so rx index and tx index
+//! line up within an NF and the only hard matching problem is *across* NFs
+//! (done in [`crate::matching`]).
+//!
+//! The source's per-entry-NF send streams are derived from the source flow
+//! records and the operator-known load-balancer hash
+//! ([`nf_types::Topology::entry_for`]) — the path side channel at the first
+//! hop.
+
+use msc_collector::TraceBundle;
+use nf_types::{FiveTuple, Ipid, Nanos, NfId, NodeId, Topology};
+use std::collections::HashMap;
+
+/// One packet appearance in an NF's rx stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RxEntry {
+    /// Read (batch) timestamp.
+    pub ts: Nanos,
+    /// IPID.
+    pub ipid: Ipid,
+    /// Index of the batch this entry came from.
+    pub batch: usize,
+}
+
+/// One packet appearance in an NF's tx stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxEntry {
+    /// Send (batch) timestamp.
+    pub ts: Nanos,
+    /// IPID.
+    pub ipid: Ipid,
+    /// Next hop (`None` = leaves the graph).
+    pub to: Option<NfId>,
+}
+
+/// A packet emitted by the traffic source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceEntry {
+    /// Emission timestamp.
+    pub ts: Nanos,
+    /// IPID.
+    pub ipid: Ipid,
+    /// The full flow key (the source keeps flow info).
+    pub flow: FiveTuple,
+    /// The entry NF the load balancer sends this flow to.
+    pub entry: NfId,
+}
+
+/// Reference to a packet instance: its position in one NF's rx stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketRef {
+    /// The NF.
+    pub nf: NfId,
+    /// Flat index into that NF's rx stream.
+    pub rx_idx: usize,
+}
+
+/// One rx batch's metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RxBatchInfo {
+    /// Read timestamp.
+    pub ts: Nanos,
+    /// Batch size.
+    pub size: usize,
+    /// Whether this read drained the ring (`size <` max batch).
+    pub drained: bool,
+}
+
+/// All streams of one NF.
+#[derive(Debug, Default)]
+pub struct NfStreams {
+    /// Flattened rx entries in read order.
+    pub rx: Vec<RxEntry>,
+    /// Batch metadata, in order.
+    pub rx_batches: Vec<RxBatchInfo>,
+    /// Flattened tx entries in send order (all targets interleaved as
+    /// recorded — the NF's global FIFO order).
+    pub tx: Vec<TxEntry>,
+}
+
+/// Flattened streams for the whole deployment, plus edge position indexes.
+#[derive(Debug)]
+pub struct EdgeStreams {
+    /// Per-NF streams, indexed by `NfId`.
+    pub nfs: Vec<NfStreams>,
+    /// Source emissions in time order.
+    pub source: Vec<SourceEntry>,
+    /// For every edge `(upstream node, downstream NF)`: ordered indices into
+    /// the upstream's tx stream (or the source stream) of the packets sent
+    /// on that edge.
+    pub edge_positions: HashMap<(NodeId, NfId), Vec<usize>>,
+    /// Inverse of `edge_positions` for NF upstreams: `tx_edge_pos[nf][i]` is
+    /// the position of tx entry `i` within its edge stream.
+    pub tx_edge_pos: Vec<Vec<usize>>,
+    /// Inverse for the source stream.
+    pub source_edge_pos: Vec<usize>,
+    /// For each exit NF: ordered indices into its tx stream of exit sends
+    /// (`to == None`), aligned with the NF's flow records.
+    pub exit_positions: HashMap<NfId, Vec<usize>>,
+}
+
+impl EdgeStreams {
+    /// Builds streams from a bundle.
+    pub fn build(topology: &Topology, bundle: &TraceBundle) -> Self {
+        let mut nfs: Vec<NfStreams> = Vec::with_capacity(topology.len());
+        for log in &bundle.logs {
+            let mut s = NfStreams::default();
+            for (bi, b) in log.rx.iter().enumerate() {
+                s.rx_batches.push(RxBatchInfo {
+                    ts: b.ts,
+                    size: b.len(),
+                    drained: b.drained_queue(),
+                });
+                for &ipid in &b.ipids {
+                    s.rx.push(RxEntry {
+                        ts: b.ts,
+                        ipid,
+                        batch: bi,
+                    });
+                }
+            }
+            for b in &log.tx {
+                for &ipid in &b.ipids {
+                    s.tx.push(TxEntry {
+                        ts: b.ts,
+                        ipid,
+                        to: b.to,
+                    });
+                }
+            }
+            nfs.push(s);
+        }
+
+        let source: Vec<SourceEntry> = bundle
+            .source_flows
+            .iter()
+            .map(|f| SourceEntry {
+                ts: f.ts,
+                ipid: f.ipid,
+                flow: f.flow,
+                entry: topology.entry_for(&f.flow),
+            })
+            .collect();
+
+        let mut edge_positions: HashMap<(NodeId, NfId), Vec<usize>> = HashMap::new();
+        let mut exit_positions: HashMap<NfId, Vec<usize>> = HashMap::new();
+
+        // NF -> NF edges and exits.
+        let mut tx_edge_pos: Vec<Vec<usize>> = Vec::with_capacity(nfs.len());
+        for (nf_idx, s) in nfs.iter().enumerate() {
+            let nf = NfId(nf_idx as u16);
+            let mut pos_within: Vec<usize> = Vec::with_capacity(s.tx.len());
+            for (i, e) in s.tx.iter().enumerate() {
+                match e.to {
+                    Some(d) => {
+                        let v = edge_positions.entry((NodeId::Nf(nf), d)).or_default();
+                        pos_within.push(v.len());
+                        v.push(i);
+                    }
+                    None => {
+                        let v = exit_positions.entry(nf).or_default();
+                        pos_within.push(v.len());
+                        v.push(i);
+                    }
+                }
+            }
+            tx_edge_pos.push(pos_within);
+        }
+
+        // Source -> entry edges.
+        let mut source_edge_pos: Vec<usize> = Vec::with_capacity(source.len());
+        for (i, e) in source.iter().enumerate() {
+            let v = edge_positions.entry((NodeId::Source, e.entry)).or_default();
+            source_edge_pos.push(v.len());
+            v.push(i);
+        }
+
+        Self {
+            nfs,
+            source,
+            edge_positions,
+            tx_edge_pos,
+            source_edge_pos,
+            exit_positions,
+        }
+    }
+
+    /// The (ts, ipid) of the `pos`-th packet sent on `(node, down)`.
+    pub fn edge_entry(&self, node: NodeId, down: NfId, pos: usize) -> (Nanos, Ipid) {
+        let idx = self.edge_positions[&(node, down)][pos];
+        match node {
+            NodeId::Source => {
+                let e = &self.source[idx];
+                (e.ts, e.ipid)
+            }
+            NodeId::Nf(u) => {
+                let e = &self.nfs[u.0 as usize].tx[idx];
+                (e.ts, e.ipid)
+            }
+        }
+    }
+
+    /// Number of packets sent on an edge.
+    pub fn edge_len(&self, node: NodeId, down: NfId) -> usize {
+        self.edge_positions
+            .get(&(node, down))
+            .map_or(0, |v| v.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msc_collector::{Collector, CollectorConfig, PacketMeta};
+    use nf_types::{NfKind, Proto};
+
+    fn topo() -> Topology {
+        let mut b = Topology::builder();
+        let a = b.add_nf(NfKind::Nat, "nat1");
+        let c = b.add_nf(NfKind::Nat, "nat2");
+        let v = b.add_nf(NfKind::Vpn, "vpn1");
+        b.add_entry(a);
+        b.add_entry(c);
+        b.add_edge(a, v);
+        b.add_edge(c, v);
+        b.build().unwrap()
+    }
+
+    fn meta(ipid: u16, sport: u16) -> PacketMeta {
+        PacketMeta {
+            ipid,
+            flow: FiveTuple::new(0x0a000001, 0x14000001, sport, 80, Proto::TCP),
+        }
+    }
+
+    #[test]
+    fn flattening_preserves_order_and_batches() {
+        let t = topo();
+        let mut c = Collector::new(&t, CollectorConfig::default());
+        c.record_rx(NfId(0), 100, &[meta(1, 1), meta(2, 2)]);
+        c.record_rx(NfId(0), 200, &[meta(3, 3)]);
+        c.record_tx(NfId(0), 150, Some(NfId(2)), &[meta(1, 1), meta(2, 2)]);
+        let s = EdgeStreams::build(&t, &c.into_bundle());
+        let nat = &s.nfs[0];
+        assert_eq!(nat.rx.len(), 3);
+        assert_eq!(nat.rx[0].batch, 0);
+        assert_eq!(nat.rx[2].batch, 1);
+        assert_eq!(nat.rx_batches.len(), 2);
+        assert!(nat.rx_batches[0].drained); // 2 < 32
+        assert_eq!(nat.tx.len(), 2);
+        assert_eq!(s.edge_len(NodeId::Nf(NfId(0)), NfId(2)), 2);
+        assert_eq!(s.edge_entry(NodeId::Nf(NfId(0)), NfId(2), 1), (150, 2));
+    }
+
+    #[test]
+    fn source_streams_split_by_lb_hash() {
+        let t = topo();
+        let mut c = Collector::new(&t, CollectorConfig::default());
+        // 40 flows spread over both entries by hash.
+        for i in 0..40u16 {
+            c.record_source(i as u64 * 10, &meta(i, 1000 + i));
+        }
+        let s = EdgeStreams::build(&t, &c.into_bundle());
+        let a = s.edge_len(NodeId::Source, NfId(0));
+        let b = s.edge_len(NodeId::Source, NfId(1));
+        assert_eq!(a + b, 40);
+        assert!(a > 5 && b > 5, "lb skew: {a}/{b}");
+        // Position inverse is consistent.
+        for (i, e) in s.source.iter().enumerate() {
+            let pos = s.source_edge_pos[i];
+            assert_eq!(s.edge_positions[&(NodeId::Source, e.entry)][pos], i);
+        }
+    }
+
+    #[test]
+    fn exit_positions_track_exit_sends() {
+        let t = topo();
+        let mut c = Collector::new(&t, CollectorConfig::default());
+        c.record_tx(NfId(2), 500, None, &[meta(9, 1)]);
+        c.record_tx(NfId(2), 600, None, &[meta(10, 2), meta(11, 3)]);
+        let s = EdgeStreams::build(&t, &c.into_bundle());
+        let exits = &s.exit_positions[&NfId(2)];
+        assert_eq!(exits.len(), 3);
+        assert_eq!(s.nfs[2].tx[exits[2]].ipid, 11);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use msc_collector::{Collector, CollectorConfig, PacketMeta};
+    use nf_types::{NfKind, Proto};
+
+    #[test]
+    fn empty_bundle_builds_empty_streams() {
+        let mut b = Topology::builder();
+        let a = b.add_nf(NfKind::Nat, "nat1");
+        b.add_entry(a);
+        let t = b.build().unwrap();
+        let c = Collector::new(&t, CollectorConfig::default());
+        let s = EdgeStreams::build(&t, &c.into_bundle());
+        assert!(s.source.is_empty());
+        assert!(s.nfs[0].rx.is_empty());
+        assert_eq!(s.edge_len(NodeId::Source, a), 0);
+    }
+
+    #[test]
+    fn tx_edge_pos_inverse_holds_for_every_entry() {
+        let mut b = Topology::builder();
+        let a = b.add_nf(NfKind::Nat, "nat1");
+        let v1 = b.add_nf(NfKind::Vpn, "vpn1");
+        let v2 = b.add_nf(NfKind::Vpn, "vpn2");
+        b.add_entry(a);
+        b.add_edge(a, v1);
+        b.add_edge(a, v2);
+        let t = b.build().unwrap();
+        let mut c = Collector::new(&t, CollectorConfig::default());
+        let m = |ipid: u16| PacketMeta {
+            ipid,
+            flow: FiveTuple::new(1, 2, 3, 4, Proto::TCP),
+        };
+        // Interleave targets across batches.
+        c.record_tx(NfId(0), 100, Some(v1), &[m(1), m(2)]);
+        c.record_tx(NfId(0), 200, Some(v2), &[m(3)]);
+        c.record_tx(NfId(0), 300, Some(v1), &[m(4)]);
+        let s = EdgeStreams::build(&t, &c.into_bundle());
+        for (i, e) in s.nfs[0].tx.iter().enumerate() {
+            let pos = s.tx_edge_pos[0][i];
+            match e.to {
+                Some(d) => {
+                    assert_eq!(s.edge_positions[&(NodeId::Nf(NfId(0)), d)][pos], i);
+                }
+                None => {
+                    assert_eq!(s.exit_positions[&NfId(0)][pos], i);
+                }
+            }
+        }
+        assert_eq!(s.edge_len(NodeId::Nf(NfId(0)), v1), 3);
+        assert_eq!(s.edge_len(NodeId::Nf(NfId(0)), v2), 1);
+    }
+}

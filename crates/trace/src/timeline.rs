@@ -1,0 +1,423 @@
+//! Per-NF timelines and queuing periods — the substrate of §4.1.
+//!
+//! A queuing period (§3 of the paper) runs from the moment a queue starts
+//! building (the first arrival after the queue was last empty) to the moment
+//! a victim packet arrives. Queue emptiness is inferred from the batch-size
+//! signal (§5): a read of fewer than `MAX_BATCH` packets drained the ring.
+
+use crate::reconstruct::{Reconstruction, TraceOutcome};
+use crate::streams::RxBatchInfo;
+use nf_types::{Interval, Nanos, NfId};
+use std::ops::Range;
+
+/// Why a packet appeared at an NF's ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// It was enqueued (and later read).
+    Queued,
+    /// It was dropped at the full ring.
+    Dropped,
+}
+
+/// One packet arrival at an NF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival (upstream send) time.
+    pub ts: Nanos,
+    /// Index of the trace this packet belongs to.
+    pub trace: usize,
+    /// Hop index within that trace (meaningless for `Dropped`).
+    pub hop: usize,
+    /// Queued or dropped.
+    pub kind: ArrivalKind,
+}
+
+/// The queuing period a packet arriving at time `t` finds itself in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuingPeriod {
+    /// `[T0, t]` — from first queue-building arrival to the victim arrival.
+    pub interval: Interval,
+    /// Indices into [`NfTimeline::arrivals`] of the PreSet packets (queued
+    /// arrivals inside the interval).
+    pub preset: Range<usize>,
+    /// `n_i(T)`: packets arriving (and enqueued) during the period.
+    pub n_arrived: u64,
+    /// `n_p(T)`: packets the NF processed during the period.
+    pub n_processed: u64,
+}
+
+impl QueuingPeriod {
+    /// Queue length when the victim arrived: `n_i - n_p`.
+    pub fn queue_len(&self) -> i64 {
+        self.n_arrived as i64 - self.n_processed as i64
+    }
+
+    /// Period length `T` in nanoseconds.
+    pub fn len(&self) -> Nanos {
+        self.interval.len()
+    }
+
+    /// True when no queue had built up.
+    pub fn is_empty(&self) -> bool {
+        self.n_arrived == 0
+    }
+}
+
+/// Timeline of one NF: all arrivals and all reads, time-ordered.
+#[derive(Debug)]
+pub struct NfTimeline {
+    /// The NF.
+    pub nf: NfId,
+    /// Arrivals sorted by time (queued and dropped).
+    pub arrivals: Vec<Arrival>,
+    /// Read batches in time order.
+    pub reads: Vec<RxBatchInfo>,
+    /// `read_prefix[i]` = packets read in batches `0..i`.
+    read_prefix: Vec<u64>,
+    /// For read index i: the largest j ≤ i with `reads[j].drained`.
+    last_drained: Vec<Option<usize>>,
+}
+
+impl NfTimeline {
+    fn new(nf: NfId, mut arrivals: Vec<Arrival>, reads: Vec<RxBatchInfo>) -> Self {
+        arrivals.sort_by_key(|a| a.ts);
+        let mut read_prefix = Vec::with_capacity(reads.len() + 1);
+        read_prefix.push(0);
+        let mut acc = 0u64;
+        for r in &reads {
+            acc += r.size as u64;
+            read_prefix.push(acc);
+        }
+        let mut last_drained = Vec::with_capacity(reads.len());
+        let mut last = None;
+        for (i, r) in reads.iter().enumerate() {
+            if r.drained {
+                last = Some(i);
+            }
+            last_drained.push(last);
+        }
+        Self {
+            nf,
+            arrivals,
+            reads,
+            read_prefix,
+            last_drained,
+        }
+    }
+
+    /// Packets read in batches whose timestamp falls in `[a, b]`.
+    pub fn processed_in(&self, a: Nanos, b: Nanos) -> u64 {
+        let lo = self.reads.partition_point(|r| r.ts < a);
+        let hi = self.reads.partition_point(|r| r.ts <= b);
+        self.read_prefix[hi] - self.read_prefix[lo]
+    }
+
+    /// Queued packets arriving in `[a, b]`.
+    pub fn arrived_in(&self, a: Nanos, b: Nanos) -> u64 {
+        let (lo, hi) = self.arrival_range(a, b);
+        self.arrivals[lo..hi]
+            .iter()
+            .filter(|x| x.kind == ArrivalKind::Queued)
+            .count() as u64
+    }
+
+    fn arrival_range(&self, a: Nanos, b: Nanos) -> (usize, usize) {
+        let lo = self.arrivals.partition_point(|x| x.ts < a);
+        let hi = self.arrivals.partition_point(|x| x.ts <= b);
+        (lo, hi)
+    }
+
+    /// Computes the queuing period seen by a packet arriving at `t`.
+    ///
+    /// `T0` is the first (queued) arrival after the last ring-draining read
+    /// at or before `t`; the period is `[T0, t]`.
+    pub fn queuing_period(&self, t: Nanos) -> QueuingPeriod {
+        self.queuing_period_above(t, 0)
+    }
+
+    /// §7's generalisation: the queuing period with a *non-zero* start
+    /// threshold. When an NF's queue never fully empties (sustained load),
+    /// the zero-threshold period stretches back unboundedly; instead the
+    /// period starts at the last time the estimated queue occupancy was at
+    /// or below `threshold` packets. `threshold == 0` reduces to the
+    /// batch-size drain signal.
+    ///
+    /// The queue estimate is reconstructed from the same records the
+    /// collector keeps: occupancy after each read = arrivals so far −
+    /// packets read so far.
+    pub fn queuing_period_above(&self, t: Nanos, threshold: u64) -> QueuingPeriod {
+        if threshold == 0 {
+            return self.queuing_period_zero(t);
+        }
+        // Walk reads backwards from t; at each read boundary estimate the
+        // occupancy right after the read and stop at the first point the
+        // queue was at or below the threshold.
+        let hi = self.reads.partition_point(|r| r.ts <= t);
+        let mut start_ts: Option<Nanos> = None;
+        for i in (0..hi).rev() {
+            let ts = self.reads[i].ts;
+            // Queued arrivals up to this read.
+            let arrived_q = self.arrivals[..self.arrivals.partition_point(|a| a.ts <= ts)]
+                .iter()
+                .filter(|a| a.kind == ArrivalKind::Queued)
+                .count() as u64;
+            let processed = self.read_prefix[i + 1];
+            if arrived_q.saturating_sub(processed) <= threshold {
+                start_ts = Some(ts);
+                break;
+            }
+        }
+        let start_idx = match start_ts {
+            Some(ts) => self.arrivals.partition_point(|a| a.ts <= ts),
+            None => 0,
+        };
+        self.period_from(start_idx, t)
+    }
+
+    fn queuing_period_zero(&self, t: Nanos) -> QueuingPeriod {
+        // Last drained read at or before t.
+        let hi = self.reads.partition_point(|r| r.ts <= t);
+        let drained_ts = if hi == 0 {
+            None
+        } else {
+            self.last_drained[hi - 1].map(|j| self.reads[j].ts)
+        };
+        // First queued arrival strictly after the drain (or the very first
+        // arrival when the queue has been building since the start).
+        let start_idx = match drained_ts {
+            Some(dts) => self.arrivals.partition_point(|a| a.ts <= dts),
+            None => 0,
+        };
+        self.period_from(start_idx, t)
+    }
+
+    /// Builds the period `[first queued arrival >= start_idx, t]`.
+    fn period_from(&self, start_idx: usize, t: Nanos) -> QueuingPeriod {
+        // Skip dropped arrivals at the front of the period: the period
+        // starts with a packet that actually entered the queue.
+        let mut s = start_idx;
+        while s < self.arrivals.len()
+            && self.arrivals[s].ts <= t
+            && self.arrivals[s].kind == ArrivalKind::Dropped
+        {
+            s += 1;
+        }
+        if s >= self.arrivals.len() || self.arrivals[s].ts > t {
+            // Queue empty at arrival: degenerate period.
+            return QueuingPeriod {
+                interval: Interval::new(t, t),
+                preset: s..s,
+                n_arrived: 0,
+                n_processed: 0,
+            };
+        }
+        let t0 = self.arrivals[s].ts;
+        let end_idx = self.arrivals.partition_point(|a| a.ts <= t);
+        let n_arrived = self.arrivals[s..end_idx]
+            .iter()
+            .filter(|a| a.kind == ArrivalKind::Queued)
+            .count() as u64;
+        let n_processed = self.processed_in(t0, t);
+        QueuingPeriod {
+            interval: Interval::new(t0, t),
+            preset: s..end_idx,
+            n_arrived,
+            n_processed,
+        }
+    }
+}
+
+/// Timelines for every NF, built from a reconstruction.
+#[derive(Debug)]
+pub struct Timelines {
+    /// Indexed by `NfId`.
+    pub nfs: Vec<NfTimeline>,
+}
+
+impl Timelines {
+    /// Builds all timelines.
+    pub fn build(recon: &Reconstruction) -> Self {
+        let n = recon.streams.nfs.len();
+        let mut arrivals: Vec<Vec<Arrival>> = vec![Vec::new(); n];
+        for (t_idx, tr) in recon.traces.iter().enumerate() {
+            for (h_idx, h) in tr.hops.iter().enumerate() {
+                arrivals[h.nf.0 as usize].push(Arrival {
+                    ts: h.arrival_ts,
+                    trace: t_idx,
+                    hop: h_idx,
+                    kind: ArrivalKind::Queued,
+                });
+            }
+            if let TraceOutcome::InferredDrop { nf, at } = tr.outcome {
+                arrivals[nf.0 as usize].push(Arrival {
+                    ts: at,
+                    trace: t_idx,
+                    hop: tr.hops.len(),
+                    kind: ArrivalKind::Dropped,
+                });
+            }
+        }
+        let nfs = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| {
+                NfTimeline::new(
+                    NfId(i as u16),
+                    a,
+                    recon.streams.nfs[i].rx_batches.clone(),
+                )
+            })
+            .collect();
+        Self { nfs }
+    }
+
+    /// The timeline of one NF.
+    pub fn nf(&self, nf: NfId) -> &NfTimeline {
+        &self.nfs[nf.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(arrival_ts: &[(Nanos, ArrivalKind)], reads: &[(Nanos, usize, bool)]) -> NfTimeline {
+        let arrivals = arrival_ts
+            .iter()
+            .enumerate()
+            .map(|(i, &(ts, kind))| Arrival {
+                ts,
+                trace: i,
+                hop: 0,
+                kind,
+            })
+            .collect();
+        let reads = reads
+            .iter()
+            .map(|&(ts, size, drained)| RxBatchInfo { ts, size, drained })
+            .collect();
+        NfTimeline::new(NfId(0), arrivals, reads)
+    }
+
+    const Q: ArrivalKind = ArrivalKind::Queued;
+
+    #[test]
+    fn queuing_period_starts_after_last_drain() {
+        // Drain at t=100, then arrivals at 150, 200, 260; reads: one batch
+        // of 2 at t=250 (full=false but that would end the period...
+        // use a non-drained batch).
+        let tl = mk(
+            &[(50, Q), (150, Q), (200, Q), (260, Q)],
+            &[(100, 1, true), (250, 32, false)],
+        );
+        let qp = tl.queuing_period(260);
+        assert_eq!(qp.interval, Interval::new(150, 260));
+        assert_eq!(qp.n_arrived, 3); // 150, 200, 260
+        assert_eq!(qp.n_processed, 32); // the batch at 250
+        assert_eq!(qp.preset.len(), 3);
+    }
+
+    #[test]
+    fn period_without_any_drain_starts_at_first_arrival() {
+        let tl = mk(&[(10, Q), (20, Q)], &[]);
+        let qp = tl.queuing_period(25);
+        assert_eq!(qp.interval, Interval::new(10, 25));
+        assert_eq!(qp.n_arrived, 2);
+        assert_eq!(qp.n_processed, 0);
+        assert_eq!(qp.queue_len(), 2);
+    }
+
+    #[test]
+    fn empty_queue_gives_degenerate_period() {
+        // Drain at 100; victim arrives at 120 with nothing in between.
+        let tl = mk(&[(50, Q)], &[(100, 1, true)]);
+        let qp = tl.queuing_period(120);
+        assert!(qp.is_empty());
+        assert_eq!(qp.len(), 0);
+    }
+
+    #[test]
+    fn dropped_arrivals_do_not_count_as_input() {
+        let tl = mk(
+            &[(150, Q), (160, ArrivalKind::Dropped), (170, Q)],
+            &[(100, 1, true)],
+        );
+        let qp = tl.queuing_period(170);
+        assert_eq!(qp.n_arrived, 2);
+        // But the dropped arrival is still inside the preset index range.
+        assert_eq!(qp.preset.len(), 3);
+    }
+
+    #[test]
+    fn dropped_arrival_cannot_open_a_period() {
+        let tl = mk(
+            &[(150, ArrivalKind::Dropped), (170, Q)],
+            &[(100, 1, true)],
+        );
+        let qp = tl.queuing_period(170);
+        assert_eq!(qp.interval, Interval::new(170, 170));
+        assert_eq!(qp.n_arrived, 1);
+    }
+
+    #[test]
+    fn processed_in_uses_prefix_sums() {
+        let tl = mk(
+            &[],
+            &[(100, 10, false), (200, 20, false), (300, 30, true)],
+        );
+        assert_eq!(tl.processed_in(100, 300), 60);
+        assert_eq!(tl.processed_in(150, 250), 20);
+        assert_eq!(tl.processed_in(301, 400), 0);
+    }
+
+    #[test]
+    fn arrived_in_counts_queued_only() {
+        let tl = mk(
+            &[(10, Q), (20, ArrivalKind::Dropped), (30, Q)],
+            &[],
+        );
+        assert_eq!(tl.arrived_in(0, 100), 2);
+        assert_eq!(tl.arrived_in(15, 25), 0);
+    }
+
+    #[test]
+    fn nonzero_threshold_shortens_never_empty_periods() {
+        // The queue never drains (all reads are full 32-batches), so the
+        // zero-threshold period reaches back to the very first arrival —
+        // but the occupancy dipped to 3 after the second read, so a
+        // threshold of 4 starts the period there (§7).
+        let arrivals: Vec<(Nanos, ArrivalKind)> = (0..70).map(|i| (100 + i * 10, Q)).collect();
+        let tl = mk(
+            &arrivals,
+            &[(400, 32, false), (450, 32, false)],
+        );
+        // At read ts=450: arrived = packets with ts<=450 = 36, processed 64
+        // -> occupancy 0 (saturating), well below threshold 4.
+        let zero = tl.queuing_period(790);
+        assert_eq!(zero.interval.start, 100);
+        let thr = tl.queuing_period_above(790, 4);
+        assert!(thr.interval.start > 400, "{thr:?}");
+        assert!(thr.n_arrived < zero.n_arrived);
+    }
+
+    #[test]
+    fn threshold_zero_is_the_drain_signal() {
+        let tl = mk(
+            &[(50, Q), (150, Q), (200, Q)],
+            &[(100, 1, true)],
+        );
+        assert_eq!(tl.queuing_period(200), tl.queuing_period_above(200, 0));
+    }
+
+    #[test]
+    fn si_sp_identity_holds() {
+        // Invariant from §4.1: n_i - n_p = queue length at arrival.
+        let tl = mk(
+            &[(150, Q), (160, Q), (170, Q), (180, Q), (190, Q)],
+            &[(100, 5, true), (175, 2, false)],
+        );
+        let qp = tl.queuing_period(190);
+        // Arrived: 150..190 = 5; processed at 175: 2. Queue = 3.
+        assert_eq!(qp.queue_len(), 3);
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic workload generation for the Microscope reproduction.
+//!
+//! The paper replays CAIDA traces with MoonGen. We do not have CAIDA data, so
+//! this crate synthesises traffic with the properties the evaluation actually
+//! depends on (DESIGN.md §1):
+//!
+//! * many concurrent five-tuple flows with heavy-tailed (Pareto) sizes and
+//!   skewed (Zipf) address popularity — [`CaidaLike`];
+//! * a controlled aggregate packet rate (the paper runs 1.2 and 1.6 Mpps of
+//!   64-byte packets);
+//! * deterministic replay from a seed, so experiments are reproducible;
+//! * injectable anomalies: line-rate bursts ([`burst`]), constant-rate probe
+//!   flows ([`cbr`]) and intermittent bug-trigger flows
+//!   ([`intermittent_flows`]).
+//!
+//! A [`Schedule`] is an emission plan: a time-sorted list of (time, flow,
+//! size) entries. Schedules compose with [`Schedule::merge`] and turn into
+//! concrete [`nf_types::Packet`]s (with unique ids and realistic colliding IPIDs) via
+//! [`Schedule::finalize`].
+
+pub mod distributions;
+pub mod generator;
+pub mod schedule;
+
+pub use distributions::{Exponential, Pareto, Zipf};
+pub use generator::{burst, cbr, intermittent_flows, CaidaLike, CaidaLikeConfig};
+pub use schedule::{Schedule, ScheduledPacket};

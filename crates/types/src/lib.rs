@@ -1,0 +1,27 @@
+//! Shared vocabulary types for the Microscope reproduction.
+//!
+//! Everything downstream — the simulator, the runtime collector, the offline
+//! trace reconstruction and the diagnosis core — speaks in terms of the types
+//! defined here: nanosecond timestamps ([`Nanos`]), packets and their
+//! [`FiveTuple`] flow keys, NF identities ([`NfId`], [`NfKind`]) and the
+//! [`Topology`] DAG that connects traffic sources to NF instances.
+//!
+//! The crate is deliberately dependency-light (only `serde`) so that every
+//! other crate in the workspace can depend on it without cycles.
+
+pub mod flow;
+pub mod nf;
+pub mod packet;
+pub mod time;
+pub mod topology;
+pub mod topology_text;
+
+pub use flow::{fmt_ip, parse_ip, FiveTuple, FlowAggregate, PortRange, Prefix, Proto, ProtoMatch};
+pub use nf::{NfId, NfKind, NodeId, SOURCE_NODE};
+pub use packet::{Ipid, Packet, PacketId};
+pub use time::{
+    ns_per_packet_to_pps, pps_to_ns_per_packet, Interval, Nanos, TimeDelta, MICROS, MILLIS,
+    SECONDS,
+};
+pub use topology::{paper_topology, NfInfo, Topology, TopologyBuilder, TopologyError};
+pub use topology_text::{emit_topology, parse_topology, TopologyTextError};

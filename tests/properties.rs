@@ -1,0 +1,188 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use microscope_repro::collector::{
+    decode_nf_log, encode_nf_log, FlowRecord, NfLog, RxBatch, TxBatch,
+};
+use microscope_repro::diagnosis::local_scores;
+use microscope_repro::diagnosis::propagation::credit_walk;
+use microscope_repro::prelude::*;
+use microscope_repro::sim::PacketOutcome;
+use microscope_repro::trace::TraceOutcome;
+use nf_types::Interval;
+use proptest::prelude::*;
+
+fn arb_flow() -> impl Strategy<Value = FiveTuple> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        prop_oneof![Just(Proto::TCP), Just(Proto::UDP), Just(Proto::ICMP)],
+    )
+        .prop_map(|(s, d, sp, dp, pr)| FiveTuple::new(s, d, sp, dp, pr))
+}
+
+fn arb_nf_log() -> impl Strategy<Value = NfLog> {
+    let rx = proptest::collection::vec(
+        (0u64..1_000_000_000, proptest::collection::vec(any::<u16>(), 1..=32)),
+        0..20,
+    );
+    let tx = proptest::collection::vec(
+        (
+            0u64..1_000_000_000,
+            proptest::option::of(0u16..8),
+            proptest::collection::vec(any::<u16>(), 1..=32),
+        ),
+        0..20,
+    );
+    let flows = proptest::collection::vec((0u64..1_000_000_000, any::<u16>(), arb_flow()), 0..20);
+    (rx, tx, flows).prop_map(|(rx, tx, flows)| {
+        let mut rxb: Vec<RxBatch> = rx
+            .into_iter()
+            .map(|(ts, ipids)| RxBatch { ts, ipids })
+            .collect();
+        rxb.sort_by_key(|b| b.ts);
+        let mut txb: Vec<TxBatch> = tx
+            .into_iter()
+            .map(|(ts, to, ipids)| TxBatch {
+                ts,
+                to: to.map(NfId),
+                ipids,
+            })
+            .collect();
+        txb.sort_by_key(|b| b.ts);
+        let mut fl: Vec<FlowRecord> = flows
+            .into_iter()
+            .map(|(ts, ipid, flow)| FlowRecord { ipid, flow, ts })
+            .collect();
+        fl.sort_by_key(|f| f.ts);
+        NfLog {
+            nf: NfId(3),
+            rx: rxb,
+            tx: txb,
+            flows: fl,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The wire encoding round-trips every well-formed log.
+    #[test]
+    fn encode_decode_round_trip(log in arb_nf_log()) {
+        let bytes = encode_nf_log(&log);
+        let back = decode_nf_log(&bytes).expect("decodes");
+        prop_assert_eq!(back, log);
+    }
+
+    /// Eqs. (1)+(2): Si + Sp always equals the queue length n_i − n_p.
+    #[test]
+    fn si_plus_sp_is_queue_length(
+        len_us in 1u64..100_000,
+        n_arrived in 0u64..100_000,
+        backlog in 0u64..5_000,
+        rate_mpps in 1u32..40,
+    ) {
+        let n_processed = n_arrived.saturating_sub(backlog);
+        let qp = microscope_repro::trace::QueuingPeriod {
+            interval: Interval::new(0, len_us * 1_000),
+            preset: 0..0,
+            n_arrived,
+            n_processed,
+        };
+        let s = local_scores(&qp, rate_mpps as f64 * 1e5);
+        prop_assert!((s.total() - qp.queue_len() as f64).abs() < 1e-6);
+        prop_assert!(s.si >= 0.0);
+    }
+
+    /// §4.2 credit walk: credits are conserved — they sum to exactly the
+    /// effective timespan reduction, and no credit is negative.
+    #[test]
+    fn credit_walk_conserves_reduction(
+        texp in 1u64..1_000_000,
+        spans in proptest::collection::vec(0u64..1_000_000, 1..8),
+    ) {
+        let credits = credit_walk(texp, &spans);
+        prop_assert_eq!(credits.len(), spans.len());
+        // The conserved quantity is texp − the *final effective* timespan:
+        // squeezes lower it, stretches raise it back (clamped by texp) and
+        // cancel earlier credit — §4.2's "effective reduction from f's
+        // perspective".
+        let eff = spans
+            .iter()
+            .fold(texp, |prev, &s| if s < prev { s } else { s.min(texp) });
+        let total: u64 = credits.iter().sum();
+        prop_assert_eq!(total, texp.saturating_sub(eff));
+        prop_assert!(credits.iter().all(|&c| c <= texp));
+    }
+
+    /// Flow aggregates: a parent produced by any single-dimension
+    /// generalisation still matches everything the child matches.
+    #[test]
+    fn aggregate_generalisation_is_monotone(flow in arb_flow()) {
+        let exact = microscope_repro::types::FlowAggregate::exact(&flow);
+        prop_assert!(exact.matches(&flow));
+        let mut agg = exact;
+        // March the src prefix all the way up; matching must never break.
+        while let Some(p) = agg.src.parent() {
+            agg.src = p;
+            prop_assert!(agg.matches(&flow));
+            prop_assert!(agg.covers(&exact));
+        }
+        let mut agg = exact;
+        while let Some(r) = agg.src_port.static_parent() {
+            agg.src_port = r;
+            prop_assert!(agg.matches(&flow));
+        }
+    }
+
+}
+
+proptest! {
+    // Each case runs a full simulate→reconstruct cycle; keep the case count
+    // bounded so debug-mode `cargo test` stays snappy.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// End-to-end on random mini-workloads: a deterministic 2-NF chain run
+    /// must reconstruct every packet exactly (no drops, moderate rate).
+    #[test]
+    fn chain_reconstruction_is_exact_on_random_workloads(
+        seed in 0u64..500,
+        n_flows in 1usize..20,
+        rate_khz in 50u32..400,
+    ) {
+        let mut sb = ScenarioBuilder::new();
+        let a = sb.nf(NfKind::Nat, "nat1");
+        let b = sb.nf(NfKind::Vpn, "vpn1");
+        sb.entry(a);
+        sb.edge(a, b);
+        let (topo, cfgs) = sb.build();
+        let mut gen = CaidaLike::new(
+            CaidaLikeConfig {
+                rate_pps: rate_khz as f64 * 1e3,
+                active_flows: n_flows,
+                ..Default::default()
+            },
+            seed,
+        );
+        let packets = gen.generate(0, 2 * MILLIS).finalize(0);
+        let sim = Simulation::new(topo.clone(), cfgs, SimConfig { seed, ..Default::default() });
+        let out = sim.run(packets);
+        let recon = reconstruct(&topo, &out.bundle, &ReconstructionConfig::default());
+        prop_assert_eq!(recon.report.flow_mismatches, 0);
+        for (tr, fate) in recon.traces.iter().zip(&out.fates) {
+            prop_assert_eq!(tr.flow, fate.packet.flow);
+            match (&tr.outcome, &fate.outcome) {
+                (TraceOutcome::Delivered(x), PacketOutcome::Delivered(y)) => {
+                    prop_assert_eq!(x, y)
+                }
+                (TraceOutcome::InferredDrop { nf, .. }, PacketOutcome::Dropped { nf: n2, .. }) => {
+                    prop_assert_eq!(nf, n2)
+                }
+                (TraceOutcome::Unresolved, PacketOutcome::InFlight) => {}
+                (got, want) => prop_assert!(false, "recon {:?} truth {:?}", got, want),
+            }
+        }
+    }
+}
