@@ -1,0 +1,258 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container has no registry access, so the workspace patches
+//! `criterion` to this crate. It keeps the authoring surface the benches
+//! use — `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `throughput`, `sample_size`, `bench_function`, `Bencher::{iter,
+//! iter_batched}`, `black_box` — over a plain wall-clock measurement loop.
+//!
+//! Behaviour mirrors real criterion's two modes: run under `cargo bench`
+//! (argv contains `--bench`) it measures and prints mean ns/iter plus
+//! throughput; run under `cargo test` (no `--bench`) each benchmark body
+//! executes exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Re-export-compatible `black_box`.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+pub struct Criterion {
+    test_mode: bool,
+    /// Target measurement budget per benchmark.
+    measure_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Real criterion runs in test mode unless cargo bench passed
+        // `--bench`; detecting it the same way keeps `cargo test` fast.
+        let test_mode = !std::env::args().any(|a| a == "--bench");
+        Self {
+            test_mode,
+            measure_budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let budget = self.measure_budget;
+        run_one(self.test_mode, budget, name, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the sample count (accepted for API parity; the stand-in sizes
+    /// its loop by wall-clock budget instead).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Measurement-time knob (accepted for API parity).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.c.measure_budget = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(
+            self.c.test_mode,
+            self.c.measure_budget,
+            &label,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing left to do).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; records the timed routine.
+pub struct Bencher {
+    test_mode: bool,
+    budget: Duration,
+    /// (total elapsed, iterations) of the measured loop.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.result = Some((Duration::ZERO, 1));
+            return;
+        }
+        // Warm up and estimate cost with a single run.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.result = Some((Duration::ZERO, 1));
+            return;
+        }
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.result = Some((total, iters));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    test_mode: bool,
+    budget: Duration,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        test_mode,
+        budget,
+        result: None,
+    };
+    f(&mut b);
+    let Some((elapsed, iters)) = b.result else {
+        println!("{label:<40} (no measurement recorded)");
+        return;
+    };
+    if test_mode {
+        println!("{label:<40} ok (smoke, 1 iter)");
+        return;
+    }
+    let per_iter_ns = elapsed.as_nanos() as f64 / iters as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (per_iter_ns / 1e9);
+            println!("{label:<40} {per_iter_ns:>14.1} ns/iter  {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (per_iter_ns / 1e9);
+            println!("{label:<40} {per_iter_ns:>14.1} ns/iter  {rate:>14.0} B/s");
+        }
+        None => println!("{label:<40} {per_iter_ns:>14.1} ns/iter"),
+    }
+}
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            measure_budget: Duration::from_millis(1),
+        };
+        let mut runs = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1)).sample_size(10);
+        g.bench_function("once", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_loops() {
+        let mut c = Criterion {
+            test_mode: false,
+            measure_budget: Duration::from_millis(5),
+        };
+        let mut runs = 0u64;
+        c.bench_function("loop", |b| b.iter(|| runs += 1));
+        assert!(runs > 1, "{runs}");
+    }
+}

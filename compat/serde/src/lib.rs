@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no registry access, so the workspace patches
+//! `serde` to this facade. It provides the `Serialize`/`Deserialize` names
+//! in both the trait and derive-macro namespaces, exactly as real serde
+//! does, but the derives expand to nothing and the traits carry no methods.
+//! Nothing in this workspace serialises at runtime; the annotations exist
+//! for downstream users who substitute the real crates.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; see crate docs).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods; see crate docs).
+pub trait Deserialize<'de> {}

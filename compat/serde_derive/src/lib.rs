@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace never serialises anything — the `#[derive(Serialize,
+//! Deserialize)]` annotations on the public types exist so downstream users
+//! *could* plug in real serde. The build container has no registry access,
+//! so these derives expand to nothing; swap the `[patch.crates-io]` entries
+//! in the workspace root for the real crates to get actual impls.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

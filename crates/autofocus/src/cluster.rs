@@ -9,11 +9,9 @@
 //! specific) cluster reaches the threshold.
 
 use crate::hierarchy::hhh_1d;
-use std::collections::HashMap;
-use nf_types::{
-    FiveTuple, FlowAggregate, NfId, NfKind, PortRange, Prefix, ProtoMatch,
-};
+use nf_types::{FiveTuple, FlowAggregate, NfId, NfKind, PortRange, Prefix, ProtoMatch};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Where a culprit or victim lives: the traffic source or an NF instance.
@@ -77,7 +75,7 @@ impl fmt::Display for LocationAgg {
 }
 
 /// An aggregated side: flow aggregate plus location aggregate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SideAggregate {
     /// Flow-space part (ANY when the items carried no flow).
     pub flow: FlowAggregate,
@@ -169,9 +167,7 @@ fn meet_of(items: &[SideItem], kind_of: &impl Fn(NfId) -> NfKind) -> SideAggrega
                 {
                     LocationAgg::Kind(kind_of(a))
                 }
-                (LocationAgg::Kind(k), Location::Nf(b)) if k == kind_of(b) => {
-                    LocationAgg::Kind(k)
-                }
+                (LocationAgg::Kind(k), Location::Nf(b)) if k == kind_of(b) => LocationAgg::Kind(k),
                 _ => LocationAgg::Any,
             };
         }
@@ -243,7 +239,14 @@ pub fn aggregate_side(
                     )
                 })
                 .collect();
-            out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+            // Full tie-break: the entries come out of a HashMap, so a
+            // weight-only sort would leave equal-weight clusters in
+            // per-process-random order.
+            out.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("finite weights")
+                    .then_with(|| a.0.cmp(&b.0))
+            });
             return out;
         }
     }
@@ -313,9 +316,7 @@ pub fn aggregate_side(
     );
     let locs: Vec<LocationAgg> = top(
         hhh_1d(
-            items
-                .iter()
-                .map(|i| (LocationAgg::Exact(i.loc), i.weight)),
+            items.iter().map(|i| (LocationAgg::Exact(i.loc), i.weight)),
             |l: &LocationAgg| l.parent(kind_of),
             th,
         ),
@@ -445,7 +446,7 @@ pub fn aggregate_side(
     // reaches the threshold. The (ANY, ANY) catch-all is always reported
     // last with the remainder. Claimed items leave the working list, so
     // later candidates scan ever-shorter lists.
-    candidates.sort_by(|a, b| b.specificity().cmp(&a.specificity()));
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.specificity()));
     let mut remaining: Vec<&SideItem> = items.iter().collect();
     let mut out: Vec<(SideAggregate, f64)> = Vec::new();
     for cand in candidates {
@@ -463,7 +464,11 @@ pub fn aggregate_side(
             out.push((cand, claim));
         }
     }
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite weights")
+            .then_with(|| a.0.cmp(&b.0))
+    });
     out
 }
 
@@ -575,7 +580,7 @@ mod tests {
         let items: Vec<SideItem> = (0..50)
             .map(|i| SideItem {
                 flow: Some(ft("10.0.0.9", 1024 + i, 80)),
-                loc: Location::Nf(NfId(i as u16 % 4)),
+                loc: Location::Nf(NfId(i % 4)),
                 weight: 1.0,
             })
             .collect();

@@ -21,7 +21,7 @@ use std::hash::Hash;
 /// output always accounts for the full input weight.
 pub fn hhh_1d<K, I, P>(items: I, parent: P, threshold: f64) -> Vec<(K, f64)>
 where
-    K: Eq + Hash + Clone,
+    K: Eq + Hash + Ord + Clone,
     I: IntoIterator<Item = (K, f64)>,
     P: Fn(&K) -> Option<K>,
 {
@@ -54,7 +54,11 @@ where
 
     let mut out: Vec<(K, f64)> = Vec::new();
     while let Some((&d, _)) = levels.iter().next_back() {
-        let keys = levels.remove(&d).expect("level exists");
+        let mut keys = levels.remove(&d).expect("level exists");
+        // The level was populated from HashMap iteration (and roll-up
+        // insertion) order; sort so the output order and the float roll-up
+        // accumulation are identical on every run.
+        keys.sort_unstable();
         for k in keys {
             let w = weights[&k];
             match parent(&k) {
@@ -105,22 +109,14 @@ mod tests {
     #[test]
     fn siblings_combine_at_parent() {
         // Three siblings of 2.0 each — none significant alone, parent 12 is.
-        let out = hhh_1d(
-            vec![(121u32, 2.0), (122, 2.0), (123, 2.0)],
-            parent,
-            5.0,
-        );
+        let out = hhh_1d(vec![(121u32, 2.0), (122, 2.0), (123, 2.0)], parent, 5.0);
         assert_eq!(out, vec![(12, 6.0)]);
     }
 
     #[test]
     fn descendant_exclusion() {
         // 121 significant alone; 122+123 only significant combined at 12.
-        let out = hhh_1d(
-            vec![(121u32, 7.0), (122, 3.0), (123, 3.0)],
-            parent,
-            5.0,
-        );
+        let out = hhh_1d(vec![(121u32, 7.0), (122, 3.0), (123, 3.0)], parent, 5.0);
         assert!(out.contains(&(121, 7.0)));
         // Parent reports only the residual 6.0, not 13.0.
         assert!(out.contains(&(12, 6.0)));
@@ -185,9 +181,8 @@ mod prefix_tests {
     fn port_hierarchy_is_two_level() {
         use nf_types::PortRange;
         // 4 exact high ports of 2.0 each; threshold 5 → the HIGH range.
-        let items: Vec<(PortRange, f64)> = (0..4)
-            .map(|i| (PortRange::exact(2000 + i), 2.0))
-            .collect();
+        let items: Vec<(PortRange, f64)> =
+            (0..4).map(|i| (PortRange::exact(2000 + i), 2.0)).collect();
         let out = hhh_1d(items, |p: &PortRange| p.static_parent(), 5.0);
         assert_eq!(out, vec![(PortRange::HIGH, 8.0)]);
     }

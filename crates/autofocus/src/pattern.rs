@@ -77,24 +77,37 @@ pub fn aggregate_patterns(
         return Vec::new();
     }
 
-    // Phase 1: per exact culprit, aggregate the victim side.
-    let mut groups: HashMap<CulpritKey, Vec<SideItem>> = HashMap::new();
+    // Phase 1: per exact culprit, aggregate the victim side. Groups are
+    // kept in first-seen order (side index map), NOT HashMap iteration
+    // order: group order decides the phase-2 item order and therefore every
+    // downstream float accumulation and tie ordering — iterating the map
+    // directly would leak the per-process hasher seed into the output.
+    let mut group_idx: HashMap<CulpritKey, usize> = HashMap::new();
+    let mut groups: Vec<(CulpritKey, Vec<SideItem>)> = Vec::new();
     for r in relations {
-        groups
-            .entry((r.culprit_flow, r.culprit_loc))
-            .or_default()
-            .push(SideItem {
-                flow: r.victim_flow,
-                loc: r.victim_loc,
-                weight: r.score,
-            });
+        let key = (r.culprit_flow, r.culprit_loc);
+        let i = *group_idx.entry(key).or_insert_with(|| {
+            groups.push((key, Vec::new()));
+            groups.len() - 1
+        });
+        groups[i].1.push(SideItem {
+            flow: r.victim_flow,
+            loc: r.victim_loc,
+            weight: r.score,
+        });
     }
-    // Intermediate: (victim aggregate) -> culprit-side items.
-    let mut by_victim: HashMap<SideAggregate, Vec<SideItem>> = HashMap::new();
+    // Intermediate: (victim aggregate) -> culprit-side items, again in
+    // first-seen order.
+    let mut victim_idx: HashMap<SideAggregate, usize> = HashMap::new();
+    let mut by_victim: Vec<(SideAggregate, Vec<SideItem>)> = Vec::new();
     for ((c_flow, c_loc), victims) in groups {
         let aggs = aggregate_side(&victims, &cfg.cluster, kind_of);
         for (victim_agg, weight) in aggs {
-            by_victim.entry(victim_agg).or_default().push(SideItem {
+            let i = *victim_idx.entry(victim_agg).or_insert_with(|| {
+                by_victim.push((victim_agg, Vec::new()));
+                by_victim.len() - 1
+            });
+            by_victim[i].1.push(SideItem {
                 flow: c_flow,
                 loc: c_loc,
                 weight,
@@ -125,7 +138,12 @@ pub fn aggregate_patterns(
             }
         }
     }
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite scores")
+            .then_with(|| (a.culprit, a.victim).cmp(&(b.culprit, b.victim)))
+    });
     if cfg.adaptive_ports {
         out = merge_adjacent_port_patterns(out, 16);
     }
@@ -146,26 +164,32 @@ pub fn merge_adjacent_port_patterns(patterns: Vec<Pattern>, max_gap: u16) -> Vec
         c_loc: crate::cluster::LocationAgg,
         victim: SideAggregate,
     }
-    let mut grouped: HashMap<Key, Vec<Pattern>> = HashMap::new();
+    // First-seen group order (index map), for the same reason as in
+    // aggregate_patterns: map iteration order would randomise the relative
+    // order of equal-score merged patterns.
+    let mut grouped_idx: HashMap<Key, usize> = HashMap::new();
+    let mut grouped: Vec<Vec<Pattern>> = Vec::new();
     let mut passthrough: Vec<Pattern> = Vec::new();
     for p in patterns {
         if p.culprit.flow.src_port.is_exact() || p.culprit.flow.dst_port.is_exact() {
-            grouped
-                .entry(Key {
-                    c_src: p.culprit.flow.src,
-                    c_dst: p.culprit.flow.dst,
-                    c_proto: p.culprit.flow.proto,
-                    c_loc: p.culprit.loc,
-                    victim: p.victim,
-                })
-                .or_default()
-                .push(p);
+            let key = Key {
+                c_src: p.culprit.flow.src,
+                c_dst: p.culprit.flow.dst,
+                c_proto: p.culprit.flow.proto,
+                c_loc: p.culprit.loc,
+                victim: p.victim,
+            };
+            let i = *grouped_idx.entry(key).or_insert_with(|| {
+                grouped.push(Vec::new());
+                grouped.len() - 1
+            });
+            grouped[i].push(p);
         } else {
             passthrough.push(p);
         }
     }
 
-    for (_, mut group) in grouped {
+    for mut group in grouped {
         group.sort_by_key(|p| (p.culprit.flow.src_port.lo, p.culprit.flow.dst_port.lo));
         let mut merged: Vec<Pattern> = Vec::new();
         for p in group {
@@ -177,12 +201,28 @@ pub fn merge_adjacent_port_patterns(patterns: Vec<Pattern>, max_gap: u16) -> Vec
                             <= last.culprit.flow.dst_port.hi.saturating_add(max_gap) =>
                 {
                     last.culprit.flow.src_port = PortRange::new(
-                        last.culprit.flow.src_port.lo.min(p.culprit.flow.src_port.lo),
-                        last.culprit.flow.src_port.hi.max(p.culprit.flow.src_port.hi),
+                        last.culprit
+                            .flow
+                            .src_port
+                            .lo
+                            .min(p.culprit.flow.src_port.lo),
+                        last.culprit
+                            .flow
+                            .src_port
+                            .hi
+                            .max(p.culprit.flow.src_port.hi),
                     );
                     last.culprit.flow.dst_port = PortRange::new(
-                        last.culprit.flow.dst_port.lo.min(p.culprit.flow.dst_port.lo),
-                        last.culprit.flow.dst_port.hi.max(p.culprit.flow.dst_port.hi),
+                        last.culprit
+                            .flow
+                            .dst_port
+                            .lo
+                            .min(p.culprit.flow.dst_port.lo),
+                        last.culprit
+                            .flow
+                            .dst_port
+                            .hi
+                            .max(p.culprit.flow.dst_port.hi),
                     );
                     last.score += p.score;
                 }
@@ -191,7 +231,12 @@ pub fn merge_adjacent_port_patterns(patterns: Vec<Pattern>, max_gap: u16) -> Vec
         }
         passthrough.extend(merged);
     }
-    passthrough.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    passthrough.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite scores")
+            .then_with(|| (a.culprit, a.victim).cmp(&(b.culprit, b.victim)))
+    });
     passthrough
 }
 
@@ -264,9 +309,12 @@ mod tests {
         // Top patterns blame the bug flows at fw2 (NfId 5).
         let top = &pats[0];
         assert_eq!(top.culprit.loc, LocationAgg::Exact(Location::Nf(NfId(5))));
-        assert!(top.culprit.flow.matches(&bug_flow(2000, 6000))
-            || top.culprit.flow.matches(&bug_flow(2004, 6004)),
-            "top culprit {:?}", top.culprit.flow);
+        assert!(
+            top.culprit.flow.matches(&bug_flow(2000, 6000))
+                || top.culprit.flow.matches(&bug_flow(2004, 6004)),
+            "top culprit {:?}",
+            top.culprit.flow
+        );
         // Aggregation is concise: 100 bug relations + 30 noise collapse to
         // a handful of patterns.
         assert!(pats.len() < 30, "{} patterns", pats.len());
@@ -319,7 +367,8 @@ mod tests {
             score,
         };
         // 2000 and 2004 merge (gap 16), 40000 does not.
-        let merged = merge_adjacent_port_patterns(vec![mk(2000, 1.0), mk(2004, 1.0), mk(40_000, 1.0)], 16);
+        let merged =
+            merge_adjacent_port_patterns(vec![mk(2000, 1.0), mk(2004, 1.0), mk(40_000, 1.0)], 16);
         assert_eq!(merged.len(), 2);
         let big = merged
             .iter()

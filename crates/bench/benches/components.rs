@@ -54,7 +54,9 @@ fn bench_collector(c: &mut Criterion) {
     g.throughput(Throughput::Elements(apps));
     g.bench_function("encode_nf_log", |b| b.iter(|| encode_nf_log(&log)));
     let bytes = encode_nf_log(&log);
-    g.bench_function("decode_nf_log", |b| b.iter(|| decode_nf_log(&bytes).expect("decodes")));
+    g.bench_function("decode_nf_log", |b| {
+        b.iter(|| decode_nf_log(&bytes).expect("decodes"))
+    });
     g.finish();
 }
 

@@ -1,0 +1,185 @@
+//! Parallel-pipeline benchmark: 1-thread vs N-thread wall time for the
+//! offline path (trace reconstruction + victim diagnosis) on the paper's
+//! 16-NF deployment, with an injected interrupt so the diagnosis layer has
+//! real queue build-ups to walk.
+//!
+//! Runs standalone (`harness = false`): `cargo bench --bench diagnose`
+//! measures a full-size scenario and writes a trajectory entry to
+//! `results/BENCH_diagnose.json` at the workspace root; without `--bench`
+//! in the arguments it runs a quick smoke configuration and skips the file.
+//!
+//! The parallel pipeline merges shards in stable input order, so the bench
+//! also cross-checks that every thread count yields output identical to the
+//! sequential run before timing anything.
+
+use microscope::{Diagnosis, DiagnosisConfig, LatencyThreshold, Microscope};
+use msc_trace::{reconstruct, Reconstruction, ReconstructionConfig, Timelines};
+use nf_sim::{paper_nf_configs, Fault, SimConfig, SimOutput, Simulation};
+use nf_traffic::{CaidaLike, CaidaLikeConfig};
+use nf_types::{paper_topology, Topology, MILLIS};
+use std::time::Instant;
+
+struct Scenario {
+    topology: Topology,
+    peak_rates: Vec<f64>,
+    out: SimOutput,
+}
+
+fn scenario(rate_pps: f64, millis: u64, seed: u64) -> Scenario {
+    let topology = paper_topology();
+    let cfgs = paper_nf_configs(&topology);
+    let peak_rates: Vec<f64> = cfgs.iter().map(|c| c.service.peak_rate_pps()).collect();
+    let mut gen = CaidaLike::new(
+        CaidaLikeConfig {
+            rate_pps,
+            ..Default::default()
+        },
+        seed,
+    );
+    let packets = gen.generate(0, millis * MILLIS).finalize(0);
+    let mut sim = Simulation::new(topology.clone(), cfgs, SimConfig::default());
+    // A 1 ms interrupt mid-run produces a burst of genuine victims.
+    let nat2 = topology.by_name("nat2").expect("paper topology has nat2");
+    sim.add_fault(Fault::Interrupt {
+        nf: nat2,
+        at: (millis / 2) * MILLIS,
+        duration: MILLIS,
+    });
+    let out = sim.run(packets);
+    Scenario {
+        topology,
+        peak_rates,
+        out,
+    }
+}
+
+fn diagnosis_config(threads: usize) -> DiagnosisConfig {
+    let mut dc = DiagnosisConfig {
+        threads,
+        ..Default::default()
+    };
+    dc.victims.latency = LatencyThreshold::Quantile(0.95);
+    dc
+}
+
+fn run_reconstruct(sc: &Scenario, threads: usize) -> Reconstruction {
+    let cfg = ReconstructionConfig {
+        threads,
+        ..Default::default()
+    };
+    reconstruct(&sc.topology, &sc.out.bundle, &cfg)
+}
+
+fn run_diagnose(sc: &Scenario, recon: &Reconstruction, threads: usize) -> Vec<Diagnosis> {
+    let timelines = Timelines::build(recon);
+    let engine = Microscope::new(
+        sc.topology.clone(),
+        sc.peak_rates.clone(),
+        diagnosis_config(threads),
+    );
+    engine.diagnose_all(recon, &timelines)
+}
+
+/// Minimum wall time over `reps` runs, in seconds.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--bench");
+    let (rate_pps, millis, seed, reps) = if measure {
+        (1_400_000.0, 120, 42, 3)
+    } else {
+        (1_000_000.0, 10, 42, 1)
+    };
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let thread_counts: &[usize] = &[1, 2, 4];
+
+    eprintln!(
+        "scenario: paper 16-NF topology, {rate_pps:.0} pps for {millis} ms (seed {seed}), \
+         {cpus} CPU(s) available"
+    );
+    let sc = scenario(rate_pps, millis, seed);
+    eprintln!(
+        "simulated {} source packets",
+        sc.out.bundle.source_flows.len()
+    );
+
+    // Correctness gate: every thread count must reproduce the sequential
+    // output exactly before any of them is worth timing.
+    let seq_recon = run_reconstruct(&sc, 1);
+    let seq_diag = run_diagnose(&sc, &seq_recon, 1);
+    assert!(!seq_diag.is_empty(), "scenario produced no victims");
+    for &t in thread_counts {
+        let r = run_reconstruct(&sc, t);
+        assert_eq!(
+            r.traces, seq_recon.traces,
+            "reconstruct diverged at {t} threads"
+        );
+        assert_eq!(
+            run_diagnose(&sc, &r, t),
+            seq_diag,
+            "diagnosis diverged at {t} threads"
+        );
+    }
+    eprintln!(
+        "output identical across thread counts ({} traces, {} diagnoses)",
+        seq_recon.traces.len(),
+        seq_diag.len()
+    );
+
+    let mut rows = Vec::new();
+    for &t in thread_counts {
+        let recon_s = time_best(reps, || run_reconstruct(&sc, t));
+        let recon = run_reconstruct(&sc, t);
+        let diag_s = time_best(reps, || run_diagnose(&sc, &recon, t));
+        eprintln!(
+            "threads={t}: reconstruct {:.1} ms, diagnose {:.1} ms",
+            recon_s * 1e3,
+            diag_s * 1e3
+        );
+        rows.push((t, recon_s, diag_s));
+    }
+
+    let base = rows[0];
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|&(t, r, d)| {
+            format!(
+                "    {{\"threads\": {t}, \"reconstruct_ms\": {:.3}, \"diagnose_ms\": {:.3}, \
+                 \"speedup_reconstruct\": {:.3}, \"speedup_diagnose\": {:.3}}}",
+                r * 1e3,
+                d * 1e3,
+                base.1 / r,
+                base.2 / d
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"diagnose\",\n  \"scenario\": {{\"topology\": \"paper-16nf\", \
+         \"rate_pps\": {rate_pps:.0}, \"millis\": {millis}, \"seed\": {seed}, \
+         \"source_packets\": {}, \"victims\": {}}},\n  \
+         \"hardware\": {{\"available_parallelism\": {cpus}}},\n  \
+         \"identical_output\": true,\n  \"results\": [\n{}\n  ]\n}}\n",
+        sc.out.bundle.source_flows.len(),
+        seq_diag.len(),
+        json_rows.join(",\n")
+    );
+
+    if measure {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../results/BENCH_diagnose.json");
+        std::fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir results/");
+        std::fs::write(&path, &json).expect("write BENCH_diagnose.json");
+        eprintln!("wrote {}", path.display());
+    } else {
+        eprintln!("smoke mode (no --bench): skipping results/BENCH_diagnose.json");
+    }
+    print!("{json}");
+}

@@ -37,9 +37,7 @@ pub fn fixture(rate_pps: f64, millis: u64, seed: u64) -> Fixture {
         },
         seed,
     );
-    let packets = gen
-        .generate(0, millis * nf_types::MILLIS)
-        .finalize(0);
+    let packets = gen.generate(0, millis * nf_types::MILLIS).finalize(0);
     let sim = Simulation::new(topology.clone(), cfgs, SimConfig::default());
     let out = sim.run(packets);
     let recon = reconstruct(&topology, &out.bundle, &ReconstructionConfig::default());

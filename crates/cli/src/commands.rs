@@ -8,9 +8,7 @@ use msc_trace::{
 };
 use nf_sim::{paper_nf_configs, Fault, SimConfig, Simulation};
 use nf_traffic::{CaidaLike, CaidaLikeConfig};
-use nf_types::{
-    emit_topology, paper_topology, parse_topology, NodeId, Topology, MICROS, MILLIS,
-};
+use nf_types::{emit_topology, paper_topology, parse_topology, NodeId, Topology, MICROS, MILLIS};
 use std::path::{Path, PathBuf};
 
 /// Top-level usage text.
@@ -22,7 +20,7 @@ commands:
            [--interrupt NF:AT_MS:LEN_US]... [--skew]
   inspect  --bundle FILE
   diagnose --topology FILE --bundle FILE [--quantile Q] [--threshold PKTS]
-           [--top N] [--skew]
+           [--top N] [--skew] [--threads N]
   skew     --topology FILE --bundle FILE
 
 run `microscope <command>` with missing flags to see its specific errors.";
@@ -79,7 +77,9 @@ impl Flags {
     fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for --{key}: {v:?}")),
         }
     }
 }
@@ -162,7 +162,9 @@ pub fn record(args: &[String]) -> Result<(), String> {
          wrote {} and {} ({} bytes, {:.2} B/packet-appearance)",
         topo_path.display(),
         bundle_path.display(),
-        std::fs::metadata(&bundle_path).map(|m| m.len()).unwrap_or(0),
+        std::fs::metadata(&bundle_path)
+            .map(|m| m.len())
+            .unwrap_or(0),
         out.bundle.bytes_per_packet(),
     );
     Ok(())
@@ -209,8 +211,14 @@ pub fn diagnose(args: &[String]) -> Result<(), String> {
     let mut bundle = load_bundle_arg(f.require("bundle")?)?;
     let quantile: f64 = f.num("quantile", 0.99)?;
     let top: usize = f.num("top", 10)?;
+    // Worker threads for reconstruction and diagnosis: 0 = one per CPU,
+    // 1 = sequential. Output is identical either way (deterministic merge).
+    let threads: usize = f.num("threads", 1)?;
 
-    let mut recon_cfg = ReconstructionConfig::default();
+    let mut recon_cfg = ReconstructionConfig {
+        threads,
+        ..Default::default()
+    };
     if f.has("skew") {
         let offsets = estimate_offsets_refined(&topology, &bundle, &SkewConfig::default());
         println!("estimated clock offsets (ns): {offsets:?}\n");
@@ -229,7 +237,10 @@ pub fn diagnose(args: &[String]) -> Result<(), String> {
     );
     let timelines = Timelines::build(&recon);
 
-    let mut dc = DiagnosisConfig::default();
+    let mut dc = DiagnosisConfig {
+        threads,
+        ..Default::default()
+    };
     dc.victims.latency = LatencyThreshold::Quantile(quantile);
     dc.victims.max_victims = Some(5_000);
     if let Some(thr) = f.get("threshold") {
@@ -258,7 +269,9 @@ pub fn diagnose(args: &[String]) -> Result<(), String> {
         }
     }
     let mut blame: Vec<(String, (f64, usize))> = blame.into_iter().collect();
-    blame.sort_by(|a, b| b.1 .1.cmp(&a.1 .1));
+    // Tie-break on the name: the counts come out of a HashMap, so equal
+    // counts would otherwise print in per-process-random order.
+    blame.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then_with(|| a.0.cmp(&b.0)));
     println!("top culprit locations (victims where ranked #1):");
     for (name, (score, victims)) in blame.iter().take(top) {
         println!("  {name:>16}: {victims:>6} victims, blame mass {score:.1}");
@@ -279,11 +292,10 @@ pub fn diagnose(args: &[String]) -> Result<(), String> {
         );
         relations = relations.into_iter().step_by(stride).collect();
     }
-    let patterns = autofocus::aggregate_patterns(
-        &relations,
-        &autofocus::PatternConfig::default(),
-        &|id| topology.nf(id).kind,
-    );
+    let patterns =
+        autofocus::aggregate_patterns(&relations, &autofocus::PatternConfig::default(), &|id| {
+            topology.nf(id).kind
+        });
     println!(
         "\n{} causal relations -> {} patterns; top {}:",
         relations.len(),
@@ -319,7 +331,16 @@ mod tests {
 
     #[test]
     fn flags_parser() {
-        let f = Flags::parse(&s(&["--out", "dir", "--skew", "--interrupt", "a:1:2", "--interrupt", "b:3:4"])).unwrap();
+        let f = Flags::parse(&s(&[
+            "--out",
+            "dir",
+            "--skew",
+            "--interrupt",
+            "a:1:2",
+            "--interrupt",
+            "b:3:4",
+        ]))
+        .unwrap();
         assert_eq!(f.get("out"), Some("dir"));
         assert!(f.has("skew"));
         assert_eq!(f.get_all("interrupt"), vec!["a:1:2", "b:3:4"]);
@@ -334,7 +355,14 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let out = dir.to_string_lossy().to_string();
         record(&s(&[
-            "--out", &out, "--millis", "40", "--seed", "3", "--interrupt", "nat1:15:800",
+            "--out",
+            &out,
+            "--millis",
+            "40",
+            "--seed",
+            "3",
+            "--interrupt",
+            "nat1:15:800",
         ]))
         .unwrap();
         assert!(dir.join("topology.txt").exists());
@@ -342,7 +370,28 @@ mod tests {
         let bundle = dir.join("run.msc").to_string_lossy().to_string();
         let topo = dir.join("topology.txt").to_string_lossy().to_string();
         inspect(&s(&["--bundle", &bundle])).unwrap();
-        diagnose(&s(&["--topology", &topo, "--bundle", &bundle, "--top", "3"])).unwrap();
+        diagnose(&s(&[
+            "--topology",
+            &topo,
+            "--bundle",
+            &bundle,
+            "--top",
+            "3",
+        ]))
+        .unwrap();
+        // The parallel pipeline accepts any worker count and is bit-identical
+        // to sequential, so --threads must not change the exit status.
+        diagnose(&s(&[
+            "--topology",
+            &topo,
+            "--bundle",
+            &bundle,
+            "--top",
+            "3",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
     }
 
     #[test]
@@ -363,7 +412,10 @@ mod tests {
         let dir = std::env::temp_dir().join("msc_cli_skewtest");
         let _ = std::fs::remove_dir_all(&dir);
         let out = dir.to_string_lossy().to_string();
-        record(&s(&["--out", &out, "--millis", "30", "--seed", "4", "--skew"])).unwrap();
+        record(&s(&[
+            "--out", &out, "--millis", "30", "--seed", "4", "--skew",
+        ]))
+        .unwrap();
         let bundle = dir.join("run.msc").to_string_lossy().to_string();
         let topo = dir.join("topology.txt").to_string_lossy().to_string();
         skew(&s(&["--topology", &topo, "--bundle", &bundle])).unwrap();

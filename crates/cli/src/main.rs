@@ -10,9 +10,11 @@
 //!     Print bundle statistics (packets, batches, bytes/packet, per NF).
 //!
 //! microscope diagnose --topology FILE --bundle FILE [--quantile Q]
-//!                     [--threshold PKTS] [--top N] [--skew]
+//!                     [--threshold PKTS] [--top N] [--skew] [--threads N]
 //!     Reconstruct traces, select tail victims, run the queue-based
 //!     diagnosis and print ranked culprits + aggregated causal patterns.
+//!     --threads N fans reconstruction and diagnosis out over N workers
+//!     (0 = one per CPU); the output is bit-identical at any thread count.
 //!
 //! microscope skew     --topology FILE --bundle FILE
 //!     Estimate per-NF clock offsets from the records alone (§7).

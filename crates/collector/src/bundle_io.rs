@@ -222,7 +222,10 @@ mod tests {
         let mut buf = Vec::new();
         write_bundle(&mut buf, &sample_bundle()).unwrap();
         buf[4] = 99; // version
-        assert!(matches!(read_bundle(&buf[..]), Err(BundleIoError::BadVersion(99))));
+        assert!(matches!(
+            read_bundle(&buf[..]),
+            Err(BundleIoError::BadVersion(99))
+        ));
         // Truncation at every section boundary is detected.
         for cut in [3usize, 6, 12, buf.len() / 2, buf.len() - 1] {
             assert!(read_bundle(&buf[..cut]).is_err(), "cut {cut}");

@@ -185,7 +185,10 @@ impl TraceBundle {
     /// Encoded size of the whole bundle in bytes (what the dumper would
     /// write to disk; the paper reports ~12.5 MB for a 5 s run).
     pub fn encoded_size(&self) -> usize {
-        self.logs.iter().map(|l| encode_nf_log(l).len()).sum::<usize>()
+        self.logs
+            .iter()
+            .map(|l| encode_nf_log(l).len())
+            .sum::<usize>()
             + self.source_flows.len() * 17
     }
 
@@ -201,7 +204,11 @@ impl TraceBundle {
         if apps == 0 {
             0.0
         } else {
-            self.logs.iter().map(|l| encode_nf_log(l).len()).sum::<usize>() as f64 / apps as f64
+            self.logs
+                .iter()
+                .map(|l| encode_nf_log(l).len())
+                .sum::<usize>() as f64
+                / apps as f64
         }
     }
 }

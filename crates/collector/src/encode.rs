@@ -107,7 +107,13 @@ fn get_tuple(buf: &[u8], pos: &mut usize) -> Result<FiveTuple, EncodeError> {
     let dst_port = get_u16(buf, pos)?;
     let proto = *buf.get(*pos).ok_or(EncodeError::Truncated)?;
     *pos += 1;
-    Ok(FiveTuple::new(src_ip, dst_ip, src_port, dst_port, Proto(proto)))
+    Ok(FiveTuple::new(
+        src_ip,
+        dst_ip,
+        src_port,
+        dst_port,
+        Proto(proto),
+    ))
 }
 
 /// Encodes one NF's log. Returns the byte buffer.
@@ -277,12 +283,26 @@ mod tests {
         let mut ipid = 0u16;
         for _ in 0..1_000 {
             ts += 17_000; // ~17 µs per 32-batch at 1.9 Mpps
-            let ipids: Vec<u16> = (0..MAX_BATCH as u16).map(|i| ipid.wrapping_add(i)).collect();
+            let ipids: Vec<u16> = (0..MAX_BATCH as u16)
+                .map(|i| ipid.wrapping_add(i))
+                .collect();
             ipid = ipid.wrapping_add(MAX_BATCH as u16);
-            rx.push(RxBatch { ts, ipids: ipids.clone() });
-            tx.push(TxBatch { ts: ts + 9_000, to: Some(NfId(1)), ipids });
+            rx.push(RxBatch {
+                ts,
+                ipids: ipids.clone(),
+            });
+            tx.push(TxBatch {
+                ts: ts + 9_000,
+                to: Some(NfId(1)),
+                ipids,
+            });
         }
-        let log = NfLog { nf: NfId(0), rx, tx, flows: vec![] };
+        let log = NfLog {
+            nf: NfId(0),
+            rx,
+            tx,
+            flows: vec![],
+        };
         let bytes = encode_nf_log(&log).len();
         let appearances = 2 * 1_000 * MAX_BATCH; // each packet in one rx and one tx
         let per_packet = bytes as f64 / appearances as f64;

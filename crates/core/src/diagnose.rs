@@ -2,13 +2,13 @@
 
 use crate::local::local_scores;
 use crate::propagation::attribute_upstream;
-use crate::victim::{find_victims, Victim, VictimConfig};
+use crate::victim::{find_victims_with, Victim, VictimConfig};
 use msc_trace::{ArrivalKind, Reconstruction, Timelines};
 use nf_types::{FiveTuple, Interval, Nanos, NfId, NodeId, Topology};
 use std::collections::HashMap;
 
 /// How a culprit contributed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum CulpritKind {
     /// The node processed packets slower than its peak rate (interrupt,
     /// cache misses, a bug's slow path...). Never applies to the source.
@@ -18,7 +18,7 @@ pub enum CulpritKind {
 }
 
 /// One culprit of one victim, with its share of the blame.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Culprit {
     /// The culprit node.
     pub node: NodeId,
@@ -36,7 +36,7 @@ pub struct Culprit {
 }
 
 /// A diagnosed victim: ranked culprits.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Diagnosis {
     /// The victim.
     pub victim: Victim,
@@ -61,6 +61,11 @@ pub struct DiagnosisConfig {
     pub max_depth: usize,
     /// Cap on distinct flows reported per culprit.
     pub max_flows_per_culprit: usize,
+    /// Workers for victim selection and per-victim diagnosis (`0` = auto,
+    /// `1` = sequential). Every victim's §4.1/§4.2 walk is independent and
+    /// results merge in victim order, so the output is bit-identical for
+    /// any worker count.
+    pub threads: usize,
 }
 
 impl Default for DiagnosisConfig {
@@ -70,6 +75,7 @@ impl Default for DiagnosisConfig {
             min_score: 0.02,
             max_depth: 16,
             max_flows_per_culprit: 64,
+            threads: 1,
         }
     }
 }
@@ -108,11 +114,15 @@ impl Microscope {
     }
 
     /// Finds and diagnoses all victims in a run.
+    ///
+    /// Both victim selection and the per-victim causal walks shard across
+    /// `cfg.threads` workers; results merge in victim order, so the output
+    /// is identical to a single-threaded run.
     pub fn diagnose_all(&self, recon: &Reconstruction, timelines: &Timelines) -> Vec<Diagnosis> {
-        find_victims(recon, &self.cfg.victims)
-            .into_iter()
-            .map(|v| self.diagnose(recon, timelines, v))
-            .collect()
+        let victims = find_victims_with(recon, &self.cfg.victims, self.cfg.threads);
+        nf_types::par_map(self.cfg.threads, &victims, |_, &v| {
+            self.diagnose(recon, timelines, v)
+        })
     }
 
     /// Diagnoses one victim.
@@ -137,7 +147,16 @@ impl Microscope {
             &mut visited,
         );
         let mut culprits: Vec<Culprit> = acc.into_values().collect();
-        culprits.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+        // Full tie-break past the score: the accumulator is a HashMap, so
+        // without it equal-score culprits would surface in an order that
+        // varies run to run (and thread count to thread count).
+        culprits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("finite scores")
+                .then_with(|| a.node.cmp(&b.node))
+                .then_with(|| a.kind.cmp(&b.kind))
+        });
         Diagnosis {
             victim,
             culprits,
@@ -282,7 +301,15 @@ impl Microscope {
                     visited.push((up, anchor));
                     *recursions += 1;
                     self.attribute(
-                        recon, timelines, up, anchor, s, depth + 1, acc, recursions, visited,
+                        recon,
+                        timelines,
+                        up,
+                        anchor,
+                        s,
+                        depth + 1,
+                        acc,
+                        recursions,
+                        visited,
                     );
                 }
             }
@@ -311,7 +338,13 @@ impl Microscope {
             *counts.entry(flow).or_insert(0.0) += stride as f64;
         }
         let mut v: Vec<(FiveTuple, f64)> = counts.into_iter().collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite counts"));
+        // Flow tie-break keeps the truncated set independent of HashMap
+        // iteration order.
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite counts")
+                .then_with(|| a.0.cmp(&b.0))
+        });
         v.truncate(self.cfg.max_flows_per_culprit);
         v
     }

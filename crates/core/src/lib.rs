@@ -37,4 +37,6 @@ pub use local::{local_scores, LocalScores};
 pub use misbehaviour::{detect_misbehaviour, Misbehaviour, MisbehaviourConfig};
 pub use propagation::{attribute_upstream, UpstreamShare};
 pub use report::{diagnoses_to_relations, rank_culprits, RankedCulprit};
-pub use victim::{find_victims, LatencyThreshold, Victim, VictimConfig, VictimKind};
+pub use victim::{
+    find_victims, find_victims_with, LatencyThreshold, Victim, VictimConfig, VictimKind,
+};

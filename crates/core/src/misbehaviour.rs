@@ -161,7 +161,11 @@ mod tests {
         });
         let mut packets = Vec::new();
         for i in 0..200u64 {
-            let sport = if i % 50 == 25 { 7777 } else { 1000 + (i % 30) as u16 };
+            let sport = if i % 50 == 25 {
+                7777
+            } else {
+                1000 + (i % 30) as u16
+            };
             let flow = FiveTuple::new(0x0a000001, 0x14000001, sport, 80, Proto::TCP);
             packets.push(Packet::new(i, flow, 64, i * 100_000)); // 10 kpps
         }
@@ -188,8 +192,9 @@ mod tests {
         let (t, cfgs) = chain();
         let sim = Simulation::new(t.clone(), cfgs, SimConfig::default());
         let flow = FiveTuple::new(1, 2, 3, 4, Proto::UDP);
-        let packets: Vec<Packet> =
-            (0..500u64).map(|i| Packet::new(i, flow, 64, i * 10_000)).collect();
+        let packets: Vec<Packet> = (0..500u64)
+            .map(|i| Packet::new(i, flow, 64, i * 10_000))
+            .collect();
         let out = sim.run(packets);
         let recon = reconstruct(&t, &out.bundle, &ReconstructionConfig::default());
         let timelines = Timelines::build(&recon);
@@ -210,8 +215,9 @@ mod tests {
         let (t, cfgs) = chain();
         let sim = Simulation::new(t.clone(), cfgs, SimConfig::default());
         let flow = FiveTuple::new(1, 2, 3, 4, Proto::UDP);
-        let packets: Vec<Packet> =
-            (0..600u64).map(|i| Packet::new(i, flow, 64, i * 120)).collect();
+        let packets: Vec<Packet> = (0..600u64)
+            .map(|i| Packet::new(i, flow, 64, i * 120))
+            .collect();
         let out = sim.run(packets);
         let recon = reconstruct(&t, &out.bundle, &ReconstructionConfig::default());
         let timelines = Timelines::build(&recon);

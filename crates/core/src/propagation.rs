@@ -118,7 +118,7 @@ pub fn attribute_upstream(
             arrivals.push(h.arrival_ts);
         }
         debug_assert!(
-            tr.hops.get(victim_hop).map_or(true, |h| h.nf == victim_nf),
+            tr.hops.get(victim_hop).is_none_or(|h| h.nf == victim_nf),
             "preset arrival hop mismatch"
         );
         total_packets += 1;
@@ -148,9 +148,14 @@ pub fn attribute_upstream(
     let texp = (total_packets as f64 / peak_rate_pps * 1e9).round() as Nanos;
 
     // Per path: credit walk, then convert credits into Si fractions
-    // weighted by the path's packet share.
+    // weighted by the path's packet share. Paths are walked in canonical
+    // (node-sequence) order: the fractions accumulate in floating point, so
+    // HashMap iteration order would otherwise leak run-to-run last-ulp
+    // differences into the shares.
+    let mut ordered: Vec<Group> = groups.into_values().collect();
+    ordered.sort_by(|a, b| a.nodes.cmp(&b.nodes));
     let mut shares: HashMap<NodeId, (f64, Nanos, Nanos)> = HashMap::new();
-    for g in groups.values() {
+    for g in &ordered {
         let timespans: Vec<Nanos> = g.spans.iter().map(|&(lo, hi)| hi - lo).collect();
         let final_ts = g.final_span.1 - g.final_span.0;
         // The victim-facing reduction includes the last wire hop: the
@@ -177,19 +182,21 @@ pub fn attribute_upstream(
                 continue;
             }
             let frac = (c as f64 / denom).min(1.0) * path_weight;
-            let e = shares
-                .entry(g.nodes[i])
-                .or_insert((0.0, Nanos::MAX, 0));
+            let e = shares.entry(g.nodes[i]).or_insert((0.0, Nanos::MAX, 0));
             e.0 += frac;
             e.1 = e.1.min(g.arrival_span[i].0);
             e.2 = e.2.max(g.arrival_span[i].1);
         }
     }
 
-    // Scale down if the overlapping per-path credits exceed 1.
-    let total: f64 = shares.values().map(|(f, _, _)| f).sum();
+    // Scale down if the overlapping per-path credits exceed 1. Entries are
+    // summed and emitted in node order, then ranked with a node tie-break:
+    // both keep the result independent of HashMap iteration order.
+    let mut entries: Vec<(NodeId, (f64, Nanos, Nanos))> = shares.into_iter().collect();
+    entries.sort_by_key(|&(node, _)| node);
+    let total: f64 = entries.iter().map(|(_, (f, _, _))| f).sum();
     let scale = if total > 1.0 { 1.0 / total } else { 1.0 };
-    let mut out: Vec<UpstreamShare> = shares
+    let mut out: Vec<UpstreamShare> = entries
         .into_iter()
         .map(|(node, (f, fa, la))| UpstreamShare {
             node,
@@ -198,7 +205,12 @@ pub fn attribute_upstream(
             last_arrival: if fa == Nanos::MAX { None } else { Some(la) },
         })
         .collect();
-    out.sort_by(|a, b| b.fraction.partial_cmp(&a.fraction).expect("finite"));
+    out.sort_by(|a, b| {
+        b.fraction
+            .partial_cmp(&a.fraction)
+            .expect("finite")
+            .then_with(|| a.node.cmp(&b.node))
+    });
     out
 }
 
@@ -249,6 +261,17 @@ mod tests {
         let credits = credit_walk(texp, &spans);
         let final_eff = *spans.last().unwrap();
         assert_eq!(credits.iter().sum::<u64>(), texp - final_eff);
+    }
+
+    #[test]
+    fn credit_walk_stretch_past_texp_resets_baseline_to_texp() {
+        // Texp 1000: src→500 (credit 500), A stretches to 1500 — past Texp.
+        // The stretch cancels src's whole credit, but the baseline resets to
+        // min(1500, 1000) = Texp, not 1500: B's squeeze to 300 is worth
+        // 1000 − 300 = 700, never more than Texp.
+        let credits = credit_walk(1000, &[500, 1500, 300]);
+        assert_eq!(credits, vec![0, 0, 700]);
+        assert_eq!(credits.iter().sum::<u64>(), 1000 - 300);
     }
 
     #[test]
@@ -306,7 +329,7 @@ mod tests {
             assert_eq!(shares[0].node, NodeId::Nf(topo.by_name("nat1").unwrap()));
             assert!(shares[0].fraction > 0.9, "{shares:?}");
             let src = shares.iter().find(|s| s.node == NodeId::Source);
-            assert!(src.map_or(true, |s| s.fraction < 0.05), "{shares:?}");
+            assert!(src.is_none_or(|s| s.fraction < 0.05), "{shares:?}");
             // The recursion anchor is the last PreSet arrival at the NAT.
             assert_eq!(shares[0].last_arrival, Some(3_100_000));
             assert_eq!(shares[0].first_arrival, Some(0));

@@ -48,10 +48,7 @@ pub fn diagnoses_to_relations(
 ) -> Vec<CausalRelation> {
     let mut out = Vec::new();
     for d in diagnoses {
-        let victim_flow = recon
-            .traces
-            .get(d.victim.trace)
-            .map(|t| t.flow);
+        let victim_flow = recon.traces.get(d.victim.trace).map(|t| t.flow);
         let victim_loc = Location::Nf(d.victim.nf);
         for c in &d.culprits {
             let culprit_loc = match c.node {
@@ -150,9 +147,15 @@ mod tests {
         let recon = recon_stub();
         let rels = diagnoses_to_relations(&recon, &[diag()]);
         assert_eq!(rels.len(), 3); // 2 flows + 1 flow-less
-        let r1 = rels.iter().find(|r| r.culprit_flow == Some(flow(1))).unwrap();
+        let r1 = rels
+            .iter()
+            .find(|r| r.culprit_flow == Some(flow(1)))
+            .unwrap();
         assert!((r1.score - 7.5).abs() < 1e-9); // 10 × 3/4
-        let r2 = rels.iter().find(|r| r.culprit_flow == Some(flow(2))).unwrap();
+        let r2 = rels
+            .iter()
+            .find(|r| r.culprit_flow == Some(flow(2)))
+            .unwrap();
         assert!((r2.score - 2.5).abs() < 1e-9);
         let r3 = rels.iter().find(|r| r.culprit_flow.is_none()).unwrap();
         assert!((r3.score - 4.0).abs() < 1e-9);

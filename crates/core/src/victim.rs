@@ -67,25 +67,36 @@ pub struct Victim {
 }
 
 /// Per-NF delay statistics used for the abnormality test.
+///
+/// Accumulates in exact integer arithmetic (`u128` sums) so that sharded
+/// accumulation merges associatively: the statistics — and therefore the
+/// victim set — are bit-identical no matter how many worker threads the
+/// traces were split across.
 #[derive(Debug, Clone, Copy, Default)]
 struct DelayStats {
     n: u64,
-    sum: f64,
-    sum_sq: f64,
+    sum: u128,
+    sum_sq: u128,
 }
 
 impl DelayStats {
-    fn push(&mut self, v: f64) {
+    fn push(&mut self, v: Nanos) {
         self.n += 1;
-        self.sum += v;
-        self.sum_sq += v * v;
+        self.sum += v as u128;
+        self.sum_sq += (v as u128) * (v as u128);
+    }
+
+    fn merge(&mut self, other: &DelayStats) {
+        self.n += other.n;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
     }
 
     fn mean(&self) -> f64 {
         if self.n == 0 {
             0.0
         } else {
-            self.sum / self.n as f64
+            self.sum as f64 / self.n as f64
         }
     }
 
@@ -94,85 +105,132 @@ impl DelayStats {
             return 0.0;
         }
         let m = self.mean();
-        (self.sum_sq / self.n as f64 - m * m).max(0.0).sqrt()
+        (self.sum_sq as f64 / self.n as f64 - m * m).max(0.0).sqrt()
     }
 }
 
-/// Selects victims from a reconstruction.
+/// Selects victims from a reconstruction (sequential).
 ///
 /// High-latency packets yield one victim per NF hop whose local delay
 /// (send − arrival) exceeds that NF's `mean + abnormal_sigma·σ`; dropped
 /// packets yield a victim at the dropping NF.
 pub fn find_victims(recon: &Reconstruction, cfg: &VictimConfig) -> Vec<Victim> {
+    find_victims_with(recon, cfg, 1)
+}
+
+/// [`find_victims`] sharded across `threads` workers (`0` = auto, `1` =
+/// sequential).
+///
+/// Each phase splits the traces into contiguous chunks and merges shard
+/// results in chunk order: latency lists concatenate back into trace
+/// order, delay statistics merge in exact integer arithmetic, and per-shard
+/// victim lists concatenate in trace order — so the returned victims are
+/// bit-identical to the sequential path for any worker count.
+pub fn find_victims_with(
+    recon: &Reconstruction,
+    cfg: &VictimConfig,
+    threads: usize,
+) -> Vec<Victim> {
+    let chunks = nf_types::chunk_ranges(threads, recon.traces.len());
+
     // Latency threshold.
     let threshold = match cfg.latency {
         LatencyThreshold::Absolute(ns) => ns,
         LatencyThreshold::Quantile(q) => {
-            let mut lats: Vec<Nanos> =
-                recon.traces.iter().filter_map(|t| t.latency()).collect();
+            let mut lats: Vec<Nanos> = nf_types::par_map(threads, &chunks, |_, r| {
+                recon.traces[r.clone()]
+                    .iter()
+                    .filter_map(|t| t.latency())
+                    .collect::<Vec<Nanos>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
             if lats.is_empty() {
                 Nanos::MAX
             } else {
                 lats.sort_unstable();
-                let idx = ((lats.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-                lats[idx]
+                // Nearest-rank: the smallest latency with at least ⌈q·N⌉
+                // samples at or below it. Rounding instead of taking the
+                // ceiling picks a below-quantile latency on small runs and
+                // inflates the victim set.
+                let rank = ((lats.len() as f64) * q.clamp(0.0, 1.0)).ceil() as usize;
+                lats[rank.saturating_sub(1).min(lats.len() - 1)]
             }
         }
     };
 
-    // Per-NF delay statistics over all hops.
+    // Per-NF delay statistics over all hops. Delays saturate at zero:
+    // residual skew on corrected multi-server bundles can leave a send
+    // timestamp slightly before the arrival.
     let max_nf = recon
         .traces
         .iter()
         .flat_map(|t| t.hops.iter().map(|h| h.nf.0))
         .max()
         .map_or(0, |m| m as usize + 1);
-    let mut stats = vec![DelayStats::default(); max_nf];
-    for t in &recon.traces {
-        for h in &t.hops {
-            if let Some(sent) = h.sent_ts {
-                stats[h.nf.0 as usize].push((sent - h.arrival_ts) as f64);
+    let shard_stats: Vec<Vec<DelayStats>> = nf_types::par_map(threads, &chunks, |_, r| {
+        let mut stats = vec![DelayStats::default(); max_nf];
+        for t in &recon.traces[r.clone()] {
+            for h in &t.hops {
+                if let Some(sent) = h.sent_ts {
+                    stats[h.nf.0 as usize].push(sent.saturating_sub(h.arrival_ts));
+                }
             }
+        }
+        stats
+    });
+    let mut stats = vec![DelayStats::default(); max_nf];
+    for shard in &shard_stats {
+        for (s, sh) in stats.iter_mut().zip(shard) {
+            s.merge(sh);
         }
     }
 
-    let mut victims = Vec::new();
-    for (t_idx, tr) in recon.traces.iter().enumerate() {
-        match tr.outcome {
-            TraceOutcome::Delivered(_) => {
-                let Some(lat) = tr.latency() else { continue };
-                if lat < threshold {
-                    continue;
-                }
-                for (h_idx, h) in tr.hops.iter().enumerate() {
-                    let Some(sent) = h.sent_ts else { continue };
-                    let s = &stats[h.nf.0 as usize];
-                    let delay = (sent - h.arrival_ts) as f64;
-                    if delay > s.mean() + cfg.abnormal_sigma * s.std() {
-                        victims.push(Victim {
-                            trace: t_idx,
-                            nf: h.nf,
-                            hop: h_idx,
-                            arrival_ts: h.arrival_ts,
-                            observed_ts: sent,
-                            kind: VictimKind::HighLatency,
-                        });
+    let mut victims: Vec<Victim> = nf_types::par_map(threads, &chunks, |_, r| {
+        let mut out = Vec::new();
+        for (off, tr) in recon.traces[r.clone()].iter().enumerate() {
+            let t_idx = r.start + off;
+            match tr.outcome {
+                TraceOutcome::Delivered(_) => {
+                    let Some(lat) = tr.latency() else { continue };
+                    if lat < threshold {
+                        continue;
+                    }
+                    for (h_idx, h) in tr.hops.iter().enumerate() {
+                        let Some(sent) = h.sent_ts else { continue };
+                        let s = &stats[h.nf.0 as usize];
+                        let delay = sent.saturating_sub(h.arrival_ts) as f64;
+                        if delay > s.mean() + cfg.abnormal_sigma * s.std() {
+                            out.push(Victim {
+                                trace: t_idx,
+                                nf: h.nf,
+                                hop: h_idx,
+                                arrival_ts: h.arrival_ts,
+                                observed_ts: sent,
+                                kind: VictimKind::HighLatency,
+                            });
+                        }
                     }
                 }
+                TraceOutcome::InferredDrop { nf, at } if cfg.include_drops => {
+                    out.push(Victim {
+                        trace: t_idx,
+                        nf,
+                        hop: tr.hops.len(),
+                        arrival_ts: at,
+                        observed_ts: at,
+                        kind: VictimKind::Drop,
+                    });
+                }
+                _ => {}
             }
-            TraceOutcome::InferredDrop { nf, at } if cfg.include_drops => {
-                victims.push(Victim {
-                    trace: t_idx,
-                    nf,
-                    hop: tr.hops.len(),
-                    arrival_ts: at,
-                    observed_ts: at,
-                    kind: VictimKind::Drop,
-                });
-            }
-            _ => {}
         }
-    }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     if let Some(cap) = cfg.max_victims {
         if victims.len() > cap && cap > 0 {
@@ -297,13 +355,93 @@ mod tests {
     #[test]
     fn drops_are_victims() {
         let mut tr = trace(&[(0, 0, 500)], true);
-        tr.outcome = TraceOutcome::InferredDrop { nf: NfId(1), at: 600 };
+        tr.outcome = TraceOutcome::InferredDrop {
+            nf: NfId(1),
+            at: 600,
+        };
         let recon = recon_with(vec![tr]);
         let victims = find_victims(&recon, &VictimConfig::default());
         assert_eq!(victims.len(), 1);
         assert_eq!(victims[0].kind, VictimKind::Drop);
         assert_eq!(victims[0].nf, NfId(1));
         assert_eq!(victims[0].arrival_ts, 600);
+    }
+
+    #[test]
+    fn quantile_threshold_uses_nearest_rank_ceil() {
+        // 10 traces with distinct single-hop latencies 1 µs .. 10 µs.
+        let traces: Vec<ReconstructedTrace> = (0..10u64)
+            .map(|i| {
+                let t0 = i * 100_000;
+                trace(&[(0, t0, t0 + 1_000 * (i + 1))], true)
+            })
+            .collect();
+        let recon = recon_with(traces);
+        let find = |q: f64| {
+            find_victims(
+                &recon,
+                &VictimConfig {
+                    latency: LatencyThreshold::Quantile(q),
+                    ..Default::default()
+                },
+            )
+        };
+        // q = 0.99 over N = 10: nearest rank is ⌈9.9⌉ = 10, i.e. the
+        // maximum — only the slowest trace is a victim.
+        let victims = find(0.99);
+        assert_eq!(victims.len(), 1, "{victims:?}");
+        assert_eq!(victims[0].trace, 9);
+        // q = 0.91: ⌈9.1⌉ = 10 again. The old round((N−1)·q) formula chose
+        // index 8 here, a below-quantile latency that also admitted trace 8.
+        let victims = find(0.91);
+        assert_eq!(victims.len(), 1, "{victims:?}");
+        assert_eq!(victims[0].trace, 9);
+        // q = 0.5: nearest rank ⌈5⌉ = 5 → the 5th smallest latency (5 µs).
+        // Traces 4..=9 pass the latency gate; the per-hop abnormality test
+        // (delay > mean + σ) then keeps the genuinely slow tail.
+        let victims = find(0.5);
+        assert!(
+            victims.iter().all(|v| v.trace >= 4),
+            "threshold must be the 5th value: {victims:?}"
+        );
+        assert!(victims.iter().any(|v| v.trace == 9));
+    }
+
+    #[test]
+    fn sharded_selection_is_identical_to_sequential() {
+        let traces: Vec<ReconstructedTrace> = (0..57u64)
+            .map(|i| {
+                let t0 = i * 100_000;
+                // A mix of two NFs and a few drops.
+                if i % 13 == 0 {
+                    let mut tr = trace(&[(0, t0, t0 + 2_000)], true);
+                    tr.outcome = TraceOutcome::InferredDrop {
+                        nf: NfId(1),
+                        at: t0 + 2_000,
+                    };
+                    tr
+                } else {
+                    trace(
+                        &[
+                            (0, t0, t0 + 1_000 + (i % 7) * 300),
+                            (1, t0 + 2_000, t0 + 2_000 + (i % 11) * 500),
+                        ],
+                        true,
+                    )
+                }
+            })
+            .collect();
+        let recon = recon_with(traces);
+        let cfg = VictimConfig {
+            latency: LatencyThreshold::Quantile(0.8),
+            ..Default::default()
+        };
+        let sequential = find_victims(&recon, &cfg);
+        assert!(!sequential.is_empty());
+        for threads in [2, 3, 4, 8] {
+            let sharded = find_victims_with(&recon, &cfg, threads);
+            assert_eq!(sharded, sequential, "threads={threads}");
+        }
     }
 
     #[test]

@@ -60,13 +60,15 @@ fn main() {
             )
         })
         .collect();
-    let packets = nf_traffic::Schedule::merge(
-        std::iter::once(background).chain(bursts),
-    )
-    .finalize(0);
+    let packets =
+        nf_traffic::Schedule::merge(std::iter::once(background).chain(bursts)).finalize(0);
     let out = sim.run(packets);
     let truth_drops = out.fates.iter().filter(|f| f.dropped()).count();
-    println!("# scenario: {} packets, {} ground-truth drops\n", out.fates.len(), truth_drops);
+    println!(
+        "# scenario: {} packets, {} ground-truth drops\n",
+        out.fates.len(),
+        truth_drops
+    );
 
     // Variant axes: IPID width (identity bits per packet) × side channels.
     // At the full 16 bits the path+order structure of §5 already resolves
@@ -74,7 +76,11 @@ fn main() {
     // collisions and shows how much the order (lookahead) and timing
     // channels then contribute.
     let mask_bundle = |bits: u32| -> msc_collector::TraceBundle {
-        let mask: u16 = if bits >= 16 { 0xffff } else { (1u16 << bits) - 1 };
+        let mask: u16 = if bits >= 16 {
+            0xffff
+        } else {
+            (1u16 << bits) - 1
+        };
         let mut b = out.bundle.clone();
         for log in &mut b.logs {
             for r in &mut log.rx {
@@ -124,9 +130,7 @@ fn main() {
             let mut wrong = 0u64;
             for (tr, fate) in recon.traces.iter().zip(&out.fates) {
                 let ok = match (&tr.outcome, &fate.outcome) {
-                    (msc_trace::TraceOutcome::Delivered(a), PacketOutcome::Delivered(b)) => {
-                        a == b
-                    }
+                    (msc_trace::TraceOutcome::Delivered(a), PacketOutcome::Delivered(b)) => a == b,
                     (
                         msc_trace::TraceOutcome::InferredDrop { nf, .. },
                         PacketOutcome::Dropped { nf: n2, .. },
@@ -160,7 +164,14 @@ fn main() {
     }
     write_csv(
         &args.csv_path("ablation_matching.csv"),
-        &["ipid_bits", "channels", "wrong_pkts", "error_rate", "ambiguities", "unmatched_rx"],
+        &[
+            "ipid_bits",
+            "channels",
+            "wrong_pkts",
+            "error_rate",
+            "ambiguities",
+            "unmatched_rx",
+        ],
         &rows,
     );
 
@@ -193,8 +204,10 @@ fn main() {
     println!("{:>12} {:>10} {:>12}", "variant", "victims", "rank1_rate");
     let mut rows = Vec::new();
     for (name, depth) in [("recursive", 16usize), ("no-recursion", 0)] {
-        let mut dc = DiagnosisConfig::default();
-        dc.max_depth = depth;
+        let mut dc = DiagnosisConfig {
+            max_depth: depth,
+            ..Default::default()
+        };
         dc.victims.max_victims = Some(1_500);
         let engine = Microscope::new(topo.clone(), rates.clone(), dc);
         let diagnoses = engine.diagnose_all(&recon, &timelines);
@@ -216,16 +229,18 @@ fn main() {
             .collect();
         let rate = correct_rate(&ranks);
         println!("{name:>12} {:>10} {rate:>12.3}", ranks.len());
-        rows.push(vec![name.to_string(), ranks.len().to_string(), format!("{rate:.4}")]);
+        rows.push(vec![
+            name.to_string(),
+            ranks.len().to_string(),
+            format!("{rate:.4}"),
+        ]);
     }
     write_csv(
         &args.csv_path("ablation_recursion.csv"),
         &["variant", "victims", "rank1_rate"],
         &rows,
     );
-    println!(
-        "\n# Findings: identity bits dominate reconstruction accuracy (errors grow ~3x"
-    );
+    println!("\n# Findings: identity bits dominate reconstruction accuracy (errors grow ~3x");
     println!("# from 16-bit to 8-bit IPIDs); the lookahead refinement and timing bound");
     println!("# add nothing *on top of* the per-edge FIFO cursor structure in this");
     println!("# workload — the strong form of the order channel is structural in the");

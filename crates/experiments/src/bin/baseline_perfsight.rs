@@ -31,7 +31,14 @@ fn counters_of(out: &nf_sim::SimOutput) -> Vec<ElementCounters> {
 fn run(rate_pps: f64, millis: u64, seed: u64, fault: Option<Fault>) -> nf_sim::SimOutput {
     let topo = paper_topology();
     let cfgs = paper_nf_configs(&topo);
-    let mut sim = Simulation::new(topo, cfgs, SimConfig { seed, ..Default::default() });
+    let mut sim = Simulation::new(
+        topo,
+        cfgs,
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     if let Some(f) = fault {
         sim.add_fault(f);
     }
@@ -56,7 +63,10 @@ fn main() {
     let out = run(3_200_000.0, args.millis, args.seed, None);
     let found = ps.diagnose(&topo, &counters_of(&out), out.duration);
     println!("# A: persistent overload (3.2 Mpps into ~2.5 Mpps of VPN capacity)");
-    println!("{:>8} {:>10} {:>12} {:>10}", "element", "drop_rate", "utilisation", "score");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10}",
+        "element", "drop_rate", "utilisation", "score"
+    );
     for b in &found {
         println!(
             "{:>8} {:>9.3}% {:>12.3} {:>10.2}",
@@ -73,7 +83,10 @@ fn main() {
         ]);
     }
     assert!(
-        found.iter().take(4).all(|b| topo.nf(b.nf).kind == NfKind::Vpn),
+        found
+            .iter()
+            .take(4)
+            .all(|b| topo.nf(b.nf).kind == NfKind::Vpn),
         "PerfSight must localise the saturated VPNs"
     );
     println!("=> PerfSight correctly localises the saturated VPNs.\n");
@@ -87,7 +100,10 @@ fn main() {
     };
     let out = run(args.rate_pps(), args.millis, args.seed, Some(fault));
     let found = ps.diagnose(&topo, &counters_of(&out), out.duration);
-    println!("# B: one 900 µs interrupt at nat1 in a healthy {} ms run", args.millis);
+    println!(
+        "# B: one 900 µs interrupt at nat1 in a healthy {} ms run",
+        args.millis
+    );
     println!("PerfSight bottlenecks found: {}", found.len());
     assert!(
         found.is_empty(),
@@ -118,10 +134,11 @@ fn main() {
             nat1_top += 1;
         }
     }
-    println!(
-        "Microscope: {nat1_top}/{n} victims near the stall rank nat1 first"
+    println!("Microscope: {nat1_top}/{n} victims near the stall rank nat1 first");
+    assert!(
+        n > 0 && nat1_top * 2 > n,
+        "Microscope must pin the stalled NF"
     );
-    assert!(n > 0 && nat1_top * 2 > n, "Microscope must pin the stalled NF");
     rows.push(vec![
         "transient".into(),
         "nat1".into(),

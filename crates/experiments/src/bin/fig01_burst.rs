@@ -75,7 +75,11 @@ fn main() {
         println!("{t_ms:>10.2} {lat:>14.1}");
         rows_a.push(vec![format!("{t_ms:.3}"), format!("{lat:.2}")]);
     }
-    write_csv(&args.csv_path("fig01a_latency.csv"), &["time_ms", "latency_us"], &rows_a);
+    write_csv(
+        &args.csv_path("fig01a_latency.csv"),
+        &["time_ms", "latency_us"],
+        &rows_a,
+    );
 
     // (b) Queue length series.
     println!("\n# Fig 1b: firewall input queue length");
@@ -96,7 +100,11 @@ fn main() {
         }
         rows_b.push(vec![format!("{t_ms:.3}"), len.to_string()]);
     }
-    write_csv(&args.csv_path("fig01b_queue.csv"), &["time_ms", "queue_len"], &rows_b);
+    write_csv(
+        &args.csv_path("fig01b_queue.csv"),
+        &["time_ms", "queue_len"],
+        &rows_b,
+    );
 
     println!("\n# Summary (paper: queue peaks ~600 and takes ~3 ms to drain)");
     println!("peak queue length : {peak}");

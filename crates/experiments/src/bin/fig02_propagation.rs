@@ -84,13 +84,20 @@ fn main() {
     let nat_tp = throughput_series(&out, bucket, |f| *f != flow_a);
 
     println!("# Fig 2b: throughput at the VPN (Mpps), interrupt at NAT 0.5-1.3 ms");
-    println!("{:>9} {:>10} {:>14}", "time_ms", "flow_A", "traffic_from_NAT");
+    println!(
+        "{:>9} {:>10} {:>14}",
+        "time_ms", "flow_A", "traffic_from_NAT"
+    );
     let mut rows = Vec::new();
     for (i, &(t, a)) in a_tp.iter().enumerate() {
         let n = nat_tp.get(i).map_or(0.0, |&(_, v)| v);
         let t_ms = t as f64 / MILLIS as f64;
         println!("{t_ms:>9.1} {a:>10.3} {n:>14.3}");
-        rows.push(vec![format!("{t_ms:.2}"), format!("{a:.4}"), format!("{n:.4}")]);
+        rows.push(vec![
+            format!("{t_ms:.2}"),
+            format!("{a:.4}"),
+            format!("{n:.4}"),
+        ]);
     }
     write_csv(
         &args.csv_path("fig02b_throughput.csv"),
@@ -106,9 +113,12 @@ fn main() {
             len.to_string(),
         ]);
     }
-    write_csv(&args.csv_path("fig02c_queue.csv"), &["time_ms", "queue_len"], &rows);
-    let peak = out
-        .queue_series[vpn.0 as usize]
+    write_csv(
+        &args.csv_path("fig02c_queue.csv"),
+        &["time_ms", "queue_len"],
+        &rows,
+    );
+    let peak = out.queue_series[vpn.0 as usize]
         .iter()
         .map(|&(_, l)| l)
         .max()

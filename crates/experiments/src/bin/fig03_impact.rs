@@ -87,7 +87,12 @@ fn main() {
         let t_ms = rate_nat[i].0 as f64 / MILLIS as f64;
         println!(
             "{:>8.1} {:>8} {:>8} {:>8} | {:>8.3} {:>8.3} {:>8.3}",
-            t_ms, drops_nat[i].1, drops_mon[i].1, drops_a[i].1, rate_nat[i].1, rate_mon[i].1,
+            t_ms,
+            drops_nat[i].1,
+            drops_mon[i].1,
+            drops_a[i].1,
+            rate_nat[i].1,
+            rate_mon[i].1,
             rate_a[i].1
         );
         rows.push(vec![
@@ -102,7 +107,15 @@ fn main() {
     }
     write_csv(
         &args.csv_path("fig03_drops_rates.csv"),
-        &["time_ms", "drops_nat", "drops_mon", "drops_a", "rate_nat_mpps", "rate_mon_mpps", "rate_a_mpps"],
+        &[
+            "time_ms",
+            "drops_nat",
+            "drops_mon",
+            "drops_a",
+            "rate_nat_mpps",
+            "rate_mon_mpps",
+            "rate_a_mpps",
+        ],
         &rows,
     );
 

@@ -35,13 +35,9 @@ fn main() {
     let nm_cdf = rank_cdf(&nm);
     let mut rows = Vec::new();
     for pct in (5..=100).step_by(5) {
-        let idx = ((pct as f64 / 100.0 * ms_cdf.len() as f64).ceil() as usize)
-            .clamp(1, ms_cdf.len())
-            - 1;
-        println!(
-            "{:>12} {:>12} {:>12}",
-            pct, ms_cdf[idx].1, nm_cdf[idx].1
-        );
+        let idx =
+            ((pct as f64 / 100.0 * ms_cdf.len() as f64).ceil() as usize).clamp(1, ms_cdf.len()) - 1;
+        println!("{:>12} {:>12} {:>12}", pct, ms_cdf[idx].1, nm_cdf[idx].1);
         rows.push(vec![
             pct.to_string(),
             ms_cdf[idx].1.to_string(),
@@ -64,6 +60,10 @@ fn main() {
     println!("NetMedic rank<=5    66%       {nm_r5:.1}%");
     println!(
         "improvement factor  up to 2.5x {:.1}x",
-        if nm_r1 > 0.0 { ms_r1 / nm_r1 } else { f64::INFINITY }
+        if nm_r1 > 0.0 {
+            ms_r1 / nm_r1
+        } else {
+            f64::INFINITY
+        }
     );
 }

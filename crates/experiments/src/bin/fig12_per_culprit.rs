@@ -51,7 +51,9 @@ fn main() {
         let nm_r1 = correct_rate(&nm) * 100.0;
         let ms_r2 = ms.iter().filter(|&&r| r <= 2).count() as f64 / ms.len() as f64 * 100.0;
         println!("# Fig 12 ({kind}): n={}", ms.len());
-        println!("  Microscope rank-1: measured {ms_r1:.1}%  (paper {paper_ms})   rank<=2 {ms_r2:.1}%");
+        println!(
+            "  Microscope rank-1: measured {ms_r1:.1}%  (paper {paper_ms})   rank<=2 {ms_r2:.1}%"
+        );
         println!("  NetMedic   rank-1: measured {nm_r1:.1}%  (paper {paper_nm})");
         // Decile CDF rows for the CSV.
         let ms_cdf = rank_cdf(&ms);
@@ -70,7 +72,12 @@ fn main() {
     }
     write_csv(
         &args.csv_path("fig12_per_culprit.csv"),
-        &["culprit_kind", "cum_pct_victims", "microscope_rank", "netmedic_rank"],
+        &[
+            "culprit_kind",
+            "cum_pct_victims",
+            "microscope_rank",
+            "netmedic_rank",
+        ],
         &rows,
     );
 }

@@ -35,7 +35,10 @@ fn main() {
     let run = run_spec(&spec);
 
     let relations = diagnoses_to_relations(&run.recon, &run.diagnoses);
-    println!("# {} packet-level causal relations (paper: 84K over 5 s)", relations.len());
+    println!(
+        "# {} packet-level causal relations (paper: 84K over 5 s)",
+        relations.len()
+    );
 
     let t0 = Instant::now();
     let patterns = aggregate_patterns(
@@ -50,7 +53,9 @@ fn main() {
         elapsed
     );
 
-    println!("\n# Fig 14 — top patterns: <culprit 5-tuple> <loc> => <victim 5-tuple> <loc> : score");
+    println!(
+        "\n# Fig 14 — top patterns: <culprit 5-tuple> <loc> => <victim 5-tuple> <loc> : score"
+    );
     let mut rows = Vec::new();
     for p in patterns.iter().take(20) {
         println!("{p}");
@@ -66,8 +71,7 @@ fn main() {
         .filter(|p| {
             paper_bug_flows().iter().any(|f| p.culprit.flow.matches(f))
                 && agg.src.covers(&p.culprit.flow.src)
-                && p.culprit.loc
-                    == autofocus::LocationAgg::Exact(autofocus::Location::Nf(fw2))
+                && p.culprit.loc == autofocus::LocationAgg::Exact(autofocus::Location::Nf(fw2))
         })
         .count();
     println!("\n# patterns naming bug-trigger flows at fw2: {hits}");

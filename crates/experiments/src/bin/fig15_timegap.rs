@@ -55,10 +55,17 @@ fn main() {
         println!("{:>7}% {:>10.3}", pct, gaps_ms[idx]);
         rows.push(vec![pct.to_string(), format!("{:.4}", gaps_ms[idx])]);
     }
-    write_csv(&args.csv_path("fig15_timegap_cdf.csv"), &["cdf_pct", "gap_ms"], &rows);
+    write_csv(
+        &args.csv_path("fig15_timegap_cdf.csv"),
+        &["cdf_pct", "gap_ms"],
+        &rows,
+    );
 
     let median = gaps_ms[gaps_ms.len() / 2];
     let max = *gaps_ms.last().expect("non-empty");
     println!("\n# Summary (paper: half under 1.5 ms, long tail reaching 91 ms)");
-    println!("median gap {median:.2} ms, max gap {max:.2} ms, {} relations", gaps_ms.len());
+    println!(
+        "median gap {median:.2} ms, max gap {max:.2} ms, {} relations",
+        gaps_ms.len()
+    );
 }

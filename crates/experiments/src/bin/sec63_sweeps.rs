@@ -23,7 +23,10 @@ fn main() {
 
     // ---- Accuracy vs burst size --------------------------------------
     println!("# §6.3a: Microscope accuracy vs burst size (paper: 200–5000 pkts)");
-    println!("{:>12} {:>10} {:>12}", "burst_pkts", "victims", "rank1_rate");
+    println!(
+        "{:>12} {:>10} {:>12}",
+        "burst_pkts", "victims", "rank1_rate"
+    );
     let mut rows = Vec::new();
     for &size in &[200u64, 500, 1000, 2500, 5000] {
         let acc = accuracy_run(
@@ -48,7 +51,11 @@ fn main() {
             .collect();
         let rate = correct_rate(&ranks);
         println!("{size:>12} {:>10} {rate:>12.3}", ranks.len());
-        rows.push(vec![size.to_string(), ranks.len().to_string(), format!("{rate:.4}")]);
+        rows.push(vec![
+            size.to_string(),
+            ranks.len().to_string(),
+            format!("{rate:.4}"),
+        ]);
     }
     write_csv(
         &args.csv_path("sec63a_burst_size.csv"),
@@ -83,7 +90,11 @@ fn main() {
             .collect();
         let rate = correct_rate(&ranks);
         println!("{us:>12} {:>10} {rate:>12.3}", ranks.len());
-        rows.push(vec![us.to_string(), ranks.len().to_string(), format!("{rate:.4}")]);
+        rows.push(vec![
+            us.to_string(),
+            ranks.len().to_string(),
+            format!("{rate:.4}"),
+        ]);
     }
     write_csv(
         &args.csv_path("sec63b_interrupt_len.csv"),
@@ -115,7 +126,11 @@ fn main() {
         }
         let rate = correct_rate(&ranks);
         println!("{hops:>8} {:>10} {rate:>12.3}", ranks.len());
-        rows.push(vec![hops.to_string(), ranks.len().to_string(), format!("{rate:.4}")]);
+        rows.push(vec![
+            hops.to_string(),
+            ranks.len().to_string(),
+            format!("{rate:.4}"),
+        ]);
     }
     write_csv(
         &args.csv_path("sec63c_hops.csv"),

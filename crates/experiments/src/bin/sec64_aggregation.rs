@@ -67,11 +67,15 @@ fn main() {
     }
     write_csv(
         &args.csv_path("sec64_aggregation.csv"),
-        &["threshold", "relations", "patterns", "compression", "runtime_ms"],
+        &[
+            "threshold",
+            "relations",
+            "patterns",
+            "compression",
+            "runtime_ms",
+        ],
         &rows,
     );
 
-    println!(
-        "\n(paper: 84K relations -> 80 patterns at th=1%; ours scale with the shorter run)"
-    );
+    println!("\n(paper: 84K relations -> 80 patterns at th=1%; ours scale with the shorter run)");
 }

@@ -36,7 +36,9 @@ fn main() {
     let mut two_hop = 0f64;
 
     for d in &run.diagnoses {
-        let Some(top) = d.culprits.first() else { continue };
+        let Some(top) = d.culprits.first() else {
+            continue;
+        };
         let victim_kind = run.topology.nf(d.victim.nf).kind;
         let col = kind_col(victim_kind);
         let row = match top.node {
@@ -76,7 +78,13 @@ fn main() {
     }
     write_csv(
         &args.csv_path("table2_breakdown.csv"),
-        &["culprit", "nat_pct", "firewall_pct", "monitor_pct", "vpn_pct"],
+        &[
+            "culprit",
+            "nat_pct",
+            "firewall_pct",
+            "monitor_pct",
+            "vpn_pct",
+        ],
         &rows,
     );
 

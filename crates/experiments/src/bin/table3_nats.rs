@@ -41,7 +41,9 @@ fn main() {
     let mut total = 0f64;
     for d in &run.diagnoses {
         total += 1.0;
-        let Some(top) = d.culprits.first() else { continue };
+        let Some(top) = d.culprits.first() else {
+            continue;
+        };
         let NodeId::Nf(nf) = top.node else { continue };
         if let Some(row) = nats.iter().position(|(id, _)| *id == nf) {
             counts[row][kind_col(run.topology.nf(d.victim.nf).kind)] += 1.0;
@@ -73,7 +75,14 @@ fn main() {
     }
     write_csv(
         &args.csv_path("table3_nats.csv"),
-        &["nat", "nat_pct", "firewall_pct", "monitor_pct", "vpn_pct", "pkts_processed"],
+        &[
+            "nat",
+            "nat_pct",
+            "firewall_pct",
+            "monitor_pct",
+            "vpn_pct",
+            "pkts_processed",
+        ],
         &rows,
     );
 
@@ -91,7 +100,10 @@ fn main() {
         (p_max - p_min) / p_max.max(1.0) * 100.0
     );
     if min > 0.0 {
-        println!("problem-count ratio worst/best NAT: {:.2}x (uneven impact)", max / min);
+        println!(
+            "problem-count ratio worst/best NAT: {:.2}x (uneven impact)",
+            max / min
+        );
     } else {
         println!("problem-count ratio worst/best NAT: inf (uneven impact)");
     }

@@ -9,8 +9,8 @@
 use nf_sim::Fault;
 use nf_traffic::{burst, intermittent_flows, Schedule};
 use nf_types::{
-    FiveTuple, FlowAggregate, Interval, Nanos, NfId, NfKind, PortRange, Prefix, Proto,
-    ProtoMatch, Topology, MICROS, MILLIS,
+    FiveTuple, FlowAggregate, Interval, Nanos, NfId, NfKind, PortRange, Prefix, Proto, ProtoMatch,
+    Topology, MICROS, MILLIS,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -182,8 +182,7 @@ impl InjectionPlan {
                 Some(fws[rng.gen_range(0..fws.len())])
             };
             if let Some(fw) = fw {
-                let flow_size =
-                    rng.gen_range(cfg.bug_flow_size.0..=cfg.bug_flow_size.1);
+                let flow_size = rng.gen_range(cfg.bug_flow_size.0..=cfg.bug_flow_size.1);
                 plan.bug = Some(BugSpec {
                     nf: fw,
                     matches: paper_bug_aggregate(),
@@ -251,13 +250,7 @@ mod tests {
     #[test]
     fn plan_respects_counts_and_spacing() {
         let t = paper_topology();
-        let plan = InjectionPlan::random(
-            &t,
-            600 * MILLIS,
-            &flows(),
-            &PlanConfig::default(),
-            7,
-        );
+        let plan = InjectionPlan::random(&t, 600 * MILLIS, &flows(), &PlanConfig::default(), 7);
         assert_eq!(plan.bursts.len() + plan.interrupts.len(), 10);
         assert!(plan.bug.is_some());
         // Events are spaced out.

@@ -126,9 +126,6 @@ mod tests {
         // Source keeps emitting throughout.
         assert!(hist.states[2][0].get(Metric::OutputRate) > 50_000.0);
         // Queue length climbs in the stall window.
-        assert!(
-            hist.states[2][1].get(Metric::QueueLen)
-                > hist.states[0][1].get(Metric::QueueLen)
-        );
+        assert!(hist.states[2][1].get(Metric::QueueLen) > hist.states[0][1].get(Metric::QueueLen));
     }
 }

@@ -1,7 +1,7 @@
 //! Building and running complete experiment scenarios.
 
 use crate::inject::InjectionPlan;
-use microscope::{DiagnosisConfig, Diagnosis, Microscope};
+use microscope::{Diagnosis, DiagnosisConfig, Microscope};
 use msc_trace::{reconstruct, Reconstruction, ReconstructionConfig, Timelines};
 use nf_sim::{paper_nf_configs, NfConfig, SimConfig, SimOutput, Simulation};
 use nf_traffic::{CaidaLike, CaidaLikeConfig, Schedule};
@@ -70,12 +70,11 @@ pub fn run_spec(spec: &RunSpec) -> RunResult {
 }
 
 /// Runs a spec on an arbitrary topology.
-pub fn run_spec_on(
-    spec: &RunSpec,
-    topology: Topology,
-    nf_configs: Vec<NfConfig>,
-) -> RunResult {
-    let peak_rates: Vec<f64> = nf_configs.iter().map(|c| c.service.peak_rate_pps()).collect();
+pub fn run_spec_on(spec: &RunSpec, topology: Topology, nf_configs: Vec<NfConfig>) -> RunResult {
+    let peak_rates: Vec<f64> = nf_configs
+        .iter()
+        .map(|c| c.service.peak_rate_pps())
+        .collect();
 
     // Background traffic + the plan's extra traffic.
     let mut gen = CaidaLike::new(
@@ -138,7 +137,10 @@ pub fn wild_run(duration: Nanos, rate_pps: f64, seed: u64, quantile: f64) -> Run
 
     let topology = paper_topology();
     let nf_configs = paper_nf_configs(&topology);
-    let peak_rates: Vec<f64> = nf_configs.iter().map(|c| c.service.peak_rate_pps()).collect();
+    let peak_rates: Vec<f64> = nf_configs
+        .iter()
+        .map(|c| c.service.peak_rate_pps())
+        .collect();
 
     let mut gen = CaidaLike::new(
         CaidaLikeConfig {

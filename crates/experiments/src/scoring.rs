@@ -54,7 +54,12 @@ pub fn attribute_event(
 }
 
 /// Does a Microscope culprit entry name this event?
-fn culprit_matches(event: &InjectedEvent, node: NodeId, kind: CulpritKind, window: Interval) -> bool {
+fn culprit_matches(
+    event: &InjectedEvent,
+    node: NodeId,
+    kind: CulpritKind,
+    window: Interval,
+) -> bool {
     // Generous window check: culprit activity must overlap the event's
     // influence period.
     let ew = event.window();
@@ -63,9 +68,7 @@ fn culprit_matches(event: &InjectedEvent, node: NodeId, kind: CulpritKind, windo
         return false;
     }
     match event {
-        InjectedEvent::Burst { .. } => {
-            node == NodeId::Source && kind == CulpritKind::SourceBurst
-        }
+        InjectedEvent::Burst { .. } => node == NodeId::Source && kind == CulpritKind::SourceBurst,
         InjectedEvent::Interrupt { nf, .. } => {
             node == NodeId::Nf(*nf) && kind == CulpritKind::LocalProcessing
         }
@@ -137,7 +140,8 @@ pub fn hop_distance(
 pub fn score_run(run: &RunResult, nm: &NetMedic, hist: &History) -> Vec<ScoredVictim> {
     let mut out = Vec::new();
     for d in &run.diagnoses {
-        let Some((event_idx, event)) = attribute_event(&run.out.journal.events, d.victim.observed_ts)
+        let Some((event_idx, event)) =
+            attribute_event(&run.out.journal.events, d.victim.observed_ts)
         else {
             continue;
         };
@@ -203,7 +207,7 @@ pub fn correct_rate(ranks: &[usize]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nf_types::{NfId, paper_topology};
+    use nf_types::{paper_topology, NfId};
 
     #[test]
     fn attribute_picks_latest_covering_event() {
@@ -222,7 +226,7 @@ mod tests {
         let (i, _) = attribute_event(&events, 20 * MILLIS).unwrap();
         assert_eq!(i, 0);
         // Before everything: none.
-        assert!(attribute_event(&events, 1 * MILLIS).is_none());
+        assert!(attribute_event(&events, MILLIS).is_none());
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! ranks the true culprit first for the clear majority of victims while
 //! clearly beating NetMedic.
 
+use msc_experiments::runner::candidate_flows;
 use msc_experiments::scoring::{correct_rate, score_run};
 use msc_experiments::{build_history, run_spec, InjectionPlan, PlanConfig, RunSpec};
-use msc_experiments::runner::candidate_flows;
 use netmedic::{NetMedic, NetMedicConfig};
 use nf_types::{paper_topology, MILLIS};
 

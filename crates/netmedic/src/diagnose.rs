@@ -300,8 +300,14 @@ mod more_tests {
         // victim's window.
         let hist = spike(4, 1, 6);
         let ranked = nm.diagnose(&hist, t.by_name("v").unwrap(), 65_000_000);
-        let pos_a = ranked.iter().position(|r| r.node == NodeId::Nf(NfId(0))).unwrap();
-        let pos_b = ranked.iter().position(|r| r.node == NodeId::Nf(NfId(1))).unwrap();
+        let pos_a = ranked
+            .iter()
+            .position(|r| r.node == NodeId::Nf(NfId(0)))
+            .unwrap();
+        let pos_b = ranked
+            .iter()
+            .position(|r| r.node == NodeId::Nf(NfId(1)))
+            .unwrap();
         assert!(pos_a < pos_b, "{ranked:?}");
     }
 
@@ -317,7 +323,11 @@ mod more_tests {
         let nm = NetMedic::new(topo, NetMedicConfig::default());
         let hist = spike(3, 2, 5); // b spikes
         let ranked = nm.diagnose(&hist, a, 55_000_000);
-        let b_score = ranked.iter().find(|r| r.node == NodeId::Nf(NfId(1))).unwrap().score;
+        let b_score = ranked
+            .iter()
+            .find(|r| r.node == NodeId::Nf(NfId(1)))
+            .unwrap()
+            .score;
         assert_eq!(b_score, 0.0);
     }
 
@@ -326,7 +336,13 @@ mod more_tests {
         // The same data at a larger window dilutes a short spike.
         let t = diamond();
         let hist_small = spike(4, 1, 6);
-        let nm = NetMedic::new(t.clone(), NetMedicConfig { window_ns: 10_000_000, similar_k: 5 });
+        let nm = NetMedic::new(
+            t.clone(),
+            NetMedicConfig {
+                window_ns: 10_000_000,
+                similar_k: 5,
+            },
+        );
         let r_small = nm.diagnose(&hist_small, t.by_name("v").unwrap(), 65_000_000);
         // Build the "same" signal averaged 5x (window 50 ms -> 2 windows).
         let states = (0..2)
@@ -340,10 +356,24 @@ mod more_tests {
             })
             .collect();
         let hist_big = History::new(50_000_000, states);
-        let nm_big = NetMedic::new(t.clone(), NetMedicConfig { window_ns: 50_000_000, similar_k: 5 });
+        let nm_big = NetMedic::new(
+            t.clone(),
+            NetMedicConfig {
+                window_ns: 50_000_000,
+                similar_k: 5,
+            },
+        );
         let r_big = nm_big.diagnose(&hist_big, t.by_name("v").unwrap(), 65_000_000);
-        let score_small = r_small.iter().find(|r| r.node == NodeId::Nf(NfId(0))).unwrap().score;
-        let score_big = r_big.iter().find(|r| r.node == NodeId::Nf(NfId(0))).unwrap().score;
+        let score_small = r_small
+            .iter()
+            .find(|r| r.node == NodeId::Nf(NfId(0)))
+            .unwrap()
+            .score;
+        let score_big = r_big
+            .iter()
+            .find(|r| r.node == NodeId::Nf(NfId(0)))
+            .unwrap()
+            .score;
         assert!(score_small >= score_big, "{score_small} vs {score_big}");
     }
 }

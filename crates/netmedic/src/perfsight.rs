@@ -130,10 +130,22 @@ mod tests {
     fn persistent_overload_is_found() {
         let t = topo3();
         let counters = vec![
-            ElementCounters { processed: 1_000_000, dropped: 0, busy_ns: 300_000_000 },
-            ElementCounters { processed: 1_000_000, dropped: 0, busy_ns: 400_000_000 },
+            ElementCounters {
+                processed: 1_000_000,
+                dropped: 0,
+                busy_ns: 300_000_000,
+            },
+            ElementCounters {
+                processed: 1_000_000,
+                dropped: 0,
+                busy_ns: 400_000_000,
+            },
             // The VPN drops 10% and is pegged.
-            ElementCounters { processed: 900_000, dropped: 100_000, busy_ns: 999_000_000 },
+            ElementCounters {
+                processed: 900_000,
+                dropped: 100_000,
+                busy_ns: 999_000_000,
+            },
         ];
         let ps = PerfSight::new(PerfSightConfig::default());
         let found = ps.diagnose(&t, &counters, 1_000_000_000);
@@ -149,9 +161,21 @@ mod tests {
         // drops — PerfSight reports nothing (the paper's point).
         let t = topo3();
         let counters = vec![
-            ElementCounters { processed: 1_000_000, dropped: 0, busy_ns: 301_000_000 },
-            ElementCounters { processed: 1_000_000, dropped: 0, busy_ns: 400_000_000 },
-            ElementCounters { processed: 1_000_000, dropped: 0, busy_ns: 790_000_000 },
+            ElementCounters {
+                processed: 1_000_000,
+                dropped: 0,
+                busy_ns: 301_000_000,
+            },
+            ElementCounters {
+                processed: 1_000_000,
+                dropped: 0,
+                busy_ns: 400_000_000,
+            },
+            ElementCounters {
+                processed: 1_000_000,
+                dropped: 0,
+                busy_ns: 790_000_000,
+            },
         ];
         let ps = PerfSight::new(PerfSightConfig::default());
         assert!(ps.diagnose(&t, &counters, 1_000_000_000).is_empty());
@@ -161,9 +185,21 @@ mod tests {
     fn droppier_element_ranks_first() {
         let t = topo3();
         let counters = vec![
-            ElementCounters { processed: 990_000, dropped: 10_000, busy_ns: 500_000_000 },
-            ElementCounters { processed: 900_000, dropped: 100_000, busy_ns: 500_000_000 },
-            ElementCounters { processed: 0, dropped: 0, busy_ns: 0 },
+            ElementCounters {
+                processed: 990_000,
+                dropped: 10_000,
+                busy_ns: 500_000_000,
+            },
+            ElementCounters {
+                processed: 900_000,
+                dropped: 100_000,
+                busy_ns: 500_000_000,
+            },
+            ElementCounters {
+                processed: 0,
+                dropped: 0,
+                busy_ns: 0,
+            },
         ];
         let ps = PerfSight::new(PerfSightConfig::default());
         let found = ps.diagnose(&t, &counters, 1_000_000_000);

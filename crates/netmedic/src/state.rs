@@ -177,9 +177,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "ragged")]
     fn ragged_matrix_rejected() {
-        History::new(
-            1_000,
-            vec![vec![ComponentState::default()], vec![]],
-        );
+        History::new(1_000, vec![vec![ComponentState::default()], vec![]]);
     }
 }

@@ -206,7 +206,8 @@ impl Simulation {
             Fault::Interrupt { nf, at, duration } => {
                 let w = Interval::new(at, at + duration);
                 self.nfs[nf.0 as usize].interrupts.add(w);
-                self.journal.record(InjectedEvent::Interrupt { nf, window: w });
+                self.journal
+                    .record(InjectedEvent::Interrupt { nf, window: w });
             }
             Fault::BugRule {
                 nf,
@@ -256,9 +257,9 @@ impl Simulation {
     /// `nf_traffic::Schedule::finalize`).
     pub fn run(mut self, packets: Vec<Packet>) -> SimOutput {
         let base_id = packets.first().map_or(0, |p| p.id.0);
-        debug_assert!(packets.windows(2).all(|w| {
-            w[0].created_at <= w[1].created_at && w[0].id.0 + 1 == w[1].id.0
-        }));
+        debug_assert!(packets
+            .windows(2)
+            .all(|w| { w[0].created_at <= w[1].created_at && w[0].id.0 + 1 == w[1].id.0 }));
         let mut fates: Vec<PacketFate> = if self.cfg.record_fates {
             packets
                 .iter()
@@ -310,11 +311,7 @@ impl Simulation {
             }
         }
 
-        let queue_series = self
-            .nfs
-            .iter_mut()
-            .map(|n| n.queue.take_series())
-            .collect();
+        let queue_series = self.nfs.iter_mut().map(|n| n.queue.take_series()).collect();
         let mut nf_stats: Vec<NfStats> = Vec::with_capacity(self.nfs.len());
         for n in &self.nfs {
             let mut s = n.stats.clone();
@@ -456,12 +453,14 @@ impl Simulation {
                 _ => groups.push((hop, vec![q.packet])),
             }
             if self.cfg.record_fates {
-                fates[(q.packet.id.0 - base_id) as usize].hops.push(HopRecord {
-                    nf,
-                    enqueued_at: q.enqueued_at,
-                    read_at: *read_at,
-                    sent_at: at,
-                });
+                fates[(q.packet.id.0 - base_id) as usize]
+                    .hops
+                    .push(HopRecord {
+                        nf,
+                        enqueued_at: q.enqueued_at,
+                        read_at: *read_at,
+                        sent_at: at,
+                    });
             }
         }
 
@@ -562,7 +561,11 @@ mod tests {
         let sim = Simulation::new(t, cfgs, SimConfig::default());
         // 1 packet every 100 ns (10 Mpps) into a 2 Mpps NAT: queues, batches.
         let out = sim.run(packets(500, 100));
-        assert!(out.nf_stats[0].mean_batch() > 8.0, "{}", out.nf_stats[0].mean_batch());
+        assert!(
+            out.nf_stats[0].mean_batch() > 8.0,
+            "{}",
+            out.nf_stats[0].mean_batch()
+        );
         // Overload drops at the NAT once its 1024-ring fills? 500 < 1024: no.
         assert_eq!(out.nf_stats[0].dropped, 0);
     }
@@ -607,7 +610,11 @@ mod tests {
         // 1 Mpps for 1 ms = 1000 packets; NAT stalls 0.1–0.6 ms.
         let out = sim.run(packets(1000, 1_000));
         // During the stall ~500 packets accumulate.
-        assert!(out.nf_stats[0].max_queue > 400, "{}", out.nf_stats[0].max_queue);
+        assert!(
+            out.nf_stats[0].max_queue > 400,
+            "{}",
+            out.nf_stats[0].max_queue
+        );
         // Journal has the ground truth.
         assert_eq!(out.journal.events.len(), 1);
         // Latency of packets arriving mid-stall spikes.
@@ -762,20 +769,30 @@ mod more_tests {
         // forms multi-packet batches whose tx groups must preserve order.
         let packets: Vec<Packet> = (0..200u64)
             .map(|i| {
-                let flow = FiveTuple::new(0x0a000001, 0x14000001, 1000 + (i as u16 % 64), 80, Proto::UDP);
+                let flow = FiveTuple::new(
+                    0x0a000001,
+                    0x14000001,
+                    1000 + (i as u16 % 64),
+                    80,
+                    Proto::UDP,
+                );
                 Packet::new(i, flow, 64, i * 100)
             })
             .collect();
         let out = sim.run(packets);
         // Per-VPN rx order equals the NAT's per-VPN tx order.
         for vpn in [1u16, 2] {
-            let nat_tx: Vec<u16> = out.bundle.log(NfId(0))
+            let nat_tx: Vec<u16> = out
+                .bundle
+                .log(NfId(0))
                 .tx
                 .iter()
                 .filter(|b| b.to == Some(NfId(vpn)))
                 .flat_map(|b| b.ipids.iter().copied())
                 .collect();
-            let vpn_rx: Vec<u16> = out.bundle.log(NfId(vpn))
+            let vpn_rx: Vec<u16> = out
+                .bundle
+                .log(NfId(vpn))
                 .rx
                 .iter()
                 .flat_map(|b| b.ipids.iter().copied())
@@ -806,8 +823,16 @@ mod more_tests {
         let out = sim.run(packets);
         // Packets arriving at 150 µs wait until the merged window ends at
         // 450 µs.
-        let victim = out.fates.iter().find(|f| f.packet.created_at >= 140 * MICROS).unwrap();
-        assert!(victim.hops[0].read_at >= 450 * MICROS, "{:?}", victim.hops[0]);
+        let victim = out
+            .fates
+            .iter()
+            .find(|f| f.packet.created_at >= 140 * MICROS)
+            .unwrap();
+        assert!(
+            victim.hops[0].read_at >= 450 * MICROS,
+            "{:?}",
+            victim.hops[0]
+        );
         // Both interrupts journaled separately (ground truth is per event).
         assert_eq!(out.journal.events.len(), 2);
     }
@@ -840,7 +865,9 @@ mod more_tests {
             },
         );
         let flow = FiveTuple::new(1, 2, 3, 4, Proto::UDP);
-        let packets: Vec<Packet> = (0..50u64).map(|i| Packet::new(i, flow, 64, i * 1_000)).collect();
+        let packets: Vec<Packet> = (0..50u64)
+            .map(|i| Packet::new(i, flow, 64, i * 1_000))
+            .collect();
         let out = sim.run(packets);
         assert!(out.fates.is_empty());
         assert_eq!(out.bundle.source_flows.len(), 50);

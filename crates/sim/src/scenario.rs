@@ -2,9 +2,7 @@
 
 use crate::nf::{NfConfig, RoutePolicy};
 use crate::service::ServiceModel;
-use nf_types::{
-    FlowAggregate, NfId, NfKind, PortRange, Prefix, ProtoMatch, Topology,
-};
+use nf_types::{FlowAggregate, NfId, NfKind, PortRange, Prefix, ProtoMatch, Topology};
 
 /// The firewall diversion rule used in the paper-style scenarios: HTTP
 /// traffic (dst port 80) is sent through a monitor, the rest goes straight

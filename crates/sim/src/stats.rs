@@ -173,7 +173,10 @@ mod tests {
     #[test]
     fn dropped_fate() {
         let mut f = fate();
-        f.outcome = PacketOutcome::Dropped { nf: NfId(2), at: 400 };
+        f.outcome = PacketOutcome::Dropped {
+            nf: NfId(2),
+            at: 400,
+        };
         assert!(f.dropped());
         assert_eq!(f.latency(), None);
         assert_eq!(f.path(), vec![NfId(0), NfId(1), NfId(2)]);

@@ -51,6 +51,12 @@ pub struct MatchConfig {
     /// Disable to ablate the order side channel (§5): IPID collisions are
     /// then broken by earliest send time alone, with no lookahead.
     pub use_order_channel: bool,
+    /// Workers for building the per-upstream-edge streams (`0` = auto,
+    /// `1` = sequential). The rx walk itself is inherently sequential (each
+    /// match advances a cursor the next read depends on), but the per-edge
+    /// index construction is independent per upstream. Results merge in
+    /// upstream order, so output is identical for any worker count.
+    pub threads: usize,
 }
 
 impl Default for MatchConfig {
@@ -60,6 +66,7 @@ impl Default for MatchConfig {
             lookahead: 48,
             negative_slack_ns: 0,
             use_order_channel: true,
+            threads: 1,
         }
     }
 }
@@ -167,7 +174,7 @@ fn lookahead_score(
         for (e_idx, e) in edges.iter().enumerate() {
             if let Some(pos) = e.candidate_from(cursors[e_idx], r.ipid, r.ts, cfg) {
                 let key = (e.ts[pos], e_idx, pos);
-                if best.map_or(true, |b| key < b) {
+                if best.is_none_or(|b| key < b) {
                     best = Some(key);
                 }
             }
@@ -188,11 +195,10 @@ pub fn match_downstream(
     cfg: &MatchConfig,
 ) -> EdgeMatch {
     let rx = &streams.nfs[down.0 as usize].rx;
-    let mut edges: Vec<EdgeStream> = topology
-        .upstream_nodes(down)
-        .into_iter()
-        .map(|node| EdgeStream::build(streams, node, down))
-        .collect();
+    let upstreams = topology.upstream_nodes(down);
+    let mut edges: Vec<EdgeStream> = nf_types::par_map(cfg.threads, &upstreams, |_, &node| {
+        EdgeStream::build(streams, node, down)
+    });
     let mut stats = MatchStats::default();
     let mut rx_origin: Vec<Option<(NodeId, usize)>> = vec![None; rx.len()];
 
@@ -219,23 +225,29 @@ pub fn match_downstream(
                     // Ablated: no lookahead, timing only.
                     default
                 } else {
-                // ...but let bounded lookahead overrule it (Fig. 9).
-                let mut best = default;
-                let mut best_score = None;
-                for &(e_idx, pos) in &cands {
-                    let mut cursors: Vec<usize> = edges.iter().map(|e| e.cursor).collect();
-                    cursors[e_idx] = pos + 1;
-                    let s =
-                        lookahead_score(&edges, &mut cursors, rx, r_idx + 1, cfg.lookahead, cfg);
-                    if best_score.map_or(true, |b| s > b) {
-                        best_score = Some(s);
-                        best = (e_idx, pos);
+                    // ...but let bounded lookahead overrule it (Fig. 9).
+                    let mut best = default;
+                    let mut best_score = None;
+                    for &(e_idx, pos) in &cands {
+                        let mut cursors: Vec<usize> = edges.iter().map(|e| e.cursor).collect();
+                        cursors[e_idx] = pos + 1;
+                        let s = lookahead_score(
+                            &edges,
+                            &mut cursors,
+                            rx,
+                            r_idx + 1,
+                            cfg.lookahead,
+                            cfg,
+                        );
+                        if best_score.is_none_or(|b| s > b) {
+                            best_score = Some(s);
+                            best = (e_idx, pos);
+                        }
                     }
-                }
-                if best != default {
-                    stats.ambiguity_flips += 1;
-                }
-                best
+                    if best != default {
+                        stats.ambiguity_flips += 1;
+                    }
+                    best
                 }
             }
         };

@@ -53,10 +53,12 @@ pub struct ReconstructedTrace {
 }
 
 impl ReconstructedTrace {
-    /// End-to-end latency for delivered packets.
+    /// End-to-end latency for delivered packets. Saturates at zero:
+    /// residual clock skew on multi-server bundles can leave a corrected
+    /// delivery timestamp slightly before the emission.
     pub fn latency(&self) -> Option<Nanos> {
         match self.outcome {
-            TraceOutcome::Delivered(at) => Some(at - self.emitted_at),
+            TraceOutcome::Delivered(at) => Some(at.saturating_sub(self.emitted_at)),
             _ => None,
         }
     }
@@ -97,6 +99,11 @@ pub struct ReconstructionReport {
 pub struct ReconstructionConfig {
     /// Cross-NF matching parameters.
     pub matching: MatchConfig,
+    /// Workers for the per-NF matching fan-out (`0` = auto, `1` =
+    /// sequential). Every NF's matching is independent and results merge in
+    /// NF order, so the reconstruction is bit-identical for any worker
+    /// count.
+    pub threads: usize,
 }
 
 /// The full reconstruction: traces plus indexes for the diagnosis layer.
@@ -136,13 +143,26 @@ pub fn reconstruct(
         ..Default::default()
     };
 
-    // Match every NF against its upstreams.
-    let mut matches: Vec<EdgeMatch> = Vec::with_capacity(topology.len());
-    for nf in 0..topology.len() {
-        let m = match_downstream(&streams, topology, NfId(nf as u16), &cfg.matching);
+    // Match every NF against its upstreams — independent per NF, so fan
+    // out across workers; merging in NF order keeps the result identical
+    // to the sequential path. When the NF fan-out is active, the per-edge
+    // parallelism inside match_downstream is disabled rather than
+    // oversubscribing with nested worker pools.
+    let match_cfg = if nf_types::effective_threads(cfg.threads) > 1 {
+        MatchConfig {
+            threads: 1,
+            ..cfg.matching.clone()
+        }
+    } else {
+        cfg.matching.clone()
+    };
+    let nf_ids: Vec<NfId> = (0..topology.len()).map(|nf| NfId(nf as u16)).collect();
+    let matches: Vec<EdgeMatch> = nf_types::par_map(cfg.threads, &nf_ids, |_, &nf| {
+        match_downstream(&streams, topology, nf, &match_cfg)
+    });
+    for m in &matches {
         report.unmatched_rx += m.stats.unmatched_rx;
         report.ambiguities += m.stats.ambiguities;
-        matches.push(m);
     }
 
     // Exit flow records indexed per exit NF for validation.
@@ -152,11 +172,8 @@ pub fn reconstruct(
         .map(|&e| (e, bundle.log(e).flows.as_slice()))
         .collect();
 
-    let mut rx_to_trace: Vec<Vec<Option<(usize, usize)>>> = streams
-        .nfs
-        .iter()
-        .map(|s| vec![None; s.rx.len()])
-        .collect();
+    let mut rx_to_trace: Vec<Vec<Option<(usize, usize)>>> =
+        streams.nfs.iter().map(|s| vec![None; s.rx.len()]).collect();
 
     let mut traces = Vec::with_capacity(streams.source.len());
     for (src_idx, s) in streams.source.iter().enumerate() {
@@ -179,7 +196,10 @@ pub fn reconstruct(
                 .unwrap_or(MatchOutcome::Unresolved);
             match outcome {
                 MatchOutcome::InferredDrop => {
-                    trace.outcome = TraceOutcome::InferredDrop { nf: down, at: arrival };
+                    trace.outcome = TraceOutcome::InferredDrop {
+                        nf: down,
+                        at: arrival,
+                    };
                     break;
                 }
                 MatchOutcome::Unresolved => {
@@ -313,7 +333,10 @@ mod tests {
         let r = reconstruct(&t, &c.into_bundle(), &ReconstructionConfig::default());
         assert_eq!(
             r.traces[0].outcome,
-            TraceOutcome::InferredDrop { nf: NfId(1), at: 180 }
+            TraceOutcome::InferredDrop {
+                nf: NfId(1),
+                at: 180
+            }
         );
         assert_eq!(r.traces[0].hops.len(), 1, "NAT hop still reconstructed");
         assert_eq!(r.traces[1].outcome, TraceOutcome::Delivered(250));
@@ -345,7 +368,10 @@ mod tests {
         c.record_rx(NfId(1), 200, &[m]);
         c.record_tx(NfId(1), 250, None, &[m]);
         let r = reconstruct(&t, &c.into_bundle(), &ReconstructionConfig::default());
-        let pref = PacketRef { nf: NfId(1), rx_idx: 0 };
+        let pref = PacketRef {
+            nf: NfId(1),
+            rx_idx: 0,
+        };
         assert_eq!(r.trace_of(pref), Some((0, 1)));
         assert_eq!(r.flow_of(pref), Some(r.traces[0].flow));
     }

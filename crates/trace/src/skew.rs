@@ -67,13 +67,17 @@ fn edge_delta(
     let mut deltas: Vec<TimeDelta> = Vec::new();
     for pos in 0..streams.edge_len(up, down) {
         let (tx_ts, ipid) = streams.edge_entry(up, down, pos);
-        let Some(positions) = rx_by_ipid.get(&ipid) else { continue };
+        let Some(positions) = rx_by_ipid.get(&ipid) else {
+            continue;
+        };
         let i = positions.partition_point(|&p| p < cursor);
-        let Some(&rx_idx) = positions.get(i) else { continue };
+        let Some(&rx_idx) = positions.get(i) else {
+            continue;
+        };
         let prev_close = i > 0 && rx_idx.saturating_sub(positions[i - 1]) < AMBIG_DIST;
         let next_close = positions
             .get(i + 1)
-            .map_or(false, |&n| n - rx_idx < AMBIG_DIST);
+            .is_some_and(|&n| n - rx_idx < AMBIG_DIST);
         cursor = rx_idx + 1;
         if prev_close || next_close {
             continue;
@@ -108,15 +112,13 @@ pub fn estimate_offsets(
                 NodeId::Source => Some(0),
                 NodeId::Nf(u) => offsets[u.0 as usize],
             };
-            let (Some(up_off), Some(delta)) = (up_offset, edge_delta(&streams, up, nf, cfg))
-            else {
+            let (Some(up_off), Some(delta)) = (up_offset, edge_delta(&streams, up, nf, cfg)) else {
                 continue;
             };
             estimates.push(up_off + delta);
         }
         if !estimates.is_empty() {
-            offsets[nf.0 as usize] =
-                Some(estimates.iter().sum::<i64>() / estimates.len() as i64);
+            offsets[nf.0 as usize] = Some(estimates.iter().sum::<i64>() / estimates.len() as i64);
         }
     }
     offsets.into_iter().map(|o| o.unwrap_or(0)).collect()
@@ -155,8 +157,7 @@ pub fn estimate_offsets_refined(
         for &nf in topology.topo_order() {
             let mut estimates: Vec<TimeDelta> = Vec::new();
             for up in topology.upstream_nodes(nf) {
-                let Some(delta) = edge_residual(&streams, up, nf, bin_ns, search_ns, cfg)
-                else {
+                let Some(delta) = edge_residual(&streams, up, nf, bin_ns, search_ns, cfg) else {
                     continue;
                 };
                 let up_res = match up {
@@ -166,8 +167,7 @@ pub fn estimate_offsets_refined(
                 estimates.push(up_res + delta);
             }
             if !estimates.is_empty() {
-                residual[nf.0 as usize] =
-                    estimates.iter().sum::<i64>() / estimates.len() as i64;
+                residual[nf.0 as usize] = estimates.iter().sum::<i64>() / estimates.len() as i64;
             }
         }
         for (e, r) in est.iter_mut().zip(&residual) {
@@ -195,7 +195,9 @@ fn edge_residual(
     let mut deltas: Vec<TimeDelta> = Vec::new();
     for pos in 0..streams.edge_len(up, down) {
         let (tx_ts, ipid) = streams.edge_entry(up, down, pos);
-        let Some(times) = rx_by_ipid.get(&ipid) else { continue };
+        let Some(times) = rx_by_ipid.get(&ipid) else {
+            continue;
+        };
         let lo = times.partition_point(|&t| (t as i64) < tx_ts as i64 - search_ns);
         for &t in &times[lo..] {
             let d = t as i64 - tx_ts as i64;
@@ -286,7 +288,12 @@ mod tests {
             // NAT reads ~1 µs later, sends ~2 µs later (true clock), but its
             // records carry its skewed clock.
             c.record_rx(NfId(0), (t as i64 + 1_000 + off[0]) as u64, &[m]);
-            c.record_tx(NfId(0), (t as i64 + 2_000 + off[0]) as u64, Some(NfId(1)), &[m]);
+            c.record_tx(
+                NfId(0),
+                (t as i64 + 2_000 + off[0]) as u64,
+                Some(NfId(1)),
+                &[m],
+            );
             c.record_rx(NfId(1), (t as i64 + 3_000 + off[1]) as u64, &[m]);
             c.record_tx(NfId(1), (t as i64 + 5_000 + off[1]) as u64, None, &[m]);
         }

@@ -261,11 +261,7 @@ impl Timelines {
             .into_iter()
             .enumerate()
             .map(|(i, a)| {
-                NfTimeline::new(
-                    NfId(i as u16),
-                    a,
-                    recon.streams.nfs[i].rx_batches.clone(),
-                )
+                NfTimeline::new(NfId(i as u16), a, recon.streams.nfs[i].rx_batches.clone())
             })
             .collect();
         Self { nfs }
@@ -350,10 +346,7 @@ mod tests {
 
     #[test]
     fn dropped_arrival_cannot_open_a_period() {
-        let tl = mk(
-            &[(150, ArrivalKind::Dropped), (170, Q)],
-            &[(100, 1, true)],
-        );
+        let tl = mk(&[(150, ArrivalKind::Dropped), (170, Q)], &[(100, 1, true)]);
         let qp = tl.queuing_period(170);
         assert_eq!(qp.interval, Interval::new(170, 170));
         assert_eq!(qp.n_arrived, 1);
@@ -361,10 +354,7 @@ mod tests {
 
     #[test]
     fn processed_in_uses_prefix_sums() {
-        let tl = mk(
-            &[],
-            &[(100, 10, false), (200, 20, false), (300, 30, true)],
-        );
+        let tl = mk(&[], &[(100, 10, false), (200, 20, false), (300, 30, true)]);
         assert_eq!(tl.processed_in(100, 300), 60);
         assert_eq!(tl.processed_in(150, 250), 20);
         assert_eq!(tl.processed_in(301, 400), 0);
@@ -372,10 +362,7 @@ mod tests {
 
     #[test]
     fn arrived_in_counts_queued_only() {
-        let tl = mk(
-            &[(10, Q), (20, ArrivalKind::Dropped), (30, Q)],
-            &[],
-        );
+        let tl = mk(&[(10, Q), (20, ArrivalKind::Dropped), (30, Q)], &[]);
         assert_eq!(tl.arrived_in(0, 100), 2);
         assert_eq!(tl.arrived_in(15, 25), 0);
     }
@@ -387,10 +374,7 @@ mod tests {
         // but the occupancy dipped to 3 after the second read, so a
         // threshold of 4 starts the period there (§7).
         let arrivals: Vec<(Nanos, ArrivalKind)> = (0..70).map(|i| (100 + i * 10, Q)).collect();
-        let tl = mk(
-            &arrivals,
-            &[(400, 32, false), (450, 32, false)],
-        );
+        let tl = mk(&arrivals, &[(400, 32, false), (450, 32, false)]);
         // At read ts=450: arrived = packets with ts<=450 = 36, processed 64
         // -> occupancy 0 (saturating), well below threshold 4.
         let zero = tl.queuing_period(790);
@@ -402,10 +386,7 @@ mod tests {
 
     #[test]
     fn threshold_zero_is_the_drain_signal() {
-        let tl = mk(
-            &[(50, Q), (150, Q), (200, Q)],
-            &[(100, 1, true)],
-        );
+        let tl = mk(&[(50, Q), (150, Q), (200, Q)], &[(100, 1, true)]);
         assert_eq!(tl.queuing_period(200), tl.queuing_period_above(200, 0));
     }
 

@@ -5,10 +5,10 @@
 //! This is the §5 correctness claim: 2-byte IPID records plus the three side
 //! channels suffice to rebuild packet journeys across the NF DAG.
 
-use msc_trace::{reconstruct, ReconstructionConfig, TraceOutcome, Timelines};
+use msc_trace::{reconstruct, ReconstructionConfig, Timelines, TraceOutcome};
+use nf_sim::PacketOutcome;
 use nf_sim::{paper_nf_configs, Fault, SimConfig, Simulation};
 use nf_traffic::{CaidaLike, CaidaLikeConfig, Schedule};
-use nf_sim::PacketOutcome;
 use nf_types::paper_topology;
 
 fn caida_schedule(rate_pps: f64, millis: u64, seed: u64) -> Schedule {
@@ -130,16 +130,12 @@ fn timelines_reflect_queue_buildup_during_interrupt() {
         "queue should be building during the stall: {qp:?}"
     );
     assert!(
-        qp.interval.start >= stall_start.saturating_sub(200_000)
-            && qp.interval.start <= probe_t,
+        qp.interval.start >= stall_start.saturating_sub(200_000) && qp.interval.start <= probe_t,
         "period start {} vs stall start {stall_start}",
         qp.interval.start
     );
     // The queue length implied by the period matches n_i - n_p.
-    assert_eq!(
-        qp.queue_len(),
-        qp.n_arrived as i64 - qp.n_processed as i64
-    );
+    assert_eq!(qp.queue_len(), qp.n_arrived as i64 - qp.n_processed as i64);
     assert!(qp.queue_len() > 100, "queue length {}", qp.queue_len());
 }
 
@@ -160,8 +156,8 @@ fn bytes_per_packet_is_near_two_at_saturation() {
     let packets = caida_schedule(2_200_000.0, 20, 99).finalize(0);
     let out = sim.run(packets);
     let nat_log = out.bundle.log(nat);
-    let bpp = msc_collector::encode_nf_log(nat_log).len() as f64
-        / nat_log.packet_appearances() as f64;
+    let bpp =
+        msc_collector::encode_nf_log(nat_log).len() as f64 / nat_log.packet_appearances() as f64;
     assert!(bpp < 3.0, "interior NF: {bpp:.2} B/packet-appearance");
     assert!(bpp > 1.5, "suspiciously small: {bpp:.2}");
 

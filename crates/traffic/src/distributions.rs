@@ -20,7 +20,10 @@ pub struct Exponential {
 impl Exponential {
     /// Creates the distribution. Panics unless `lambda > 0`.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive");
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "lambda must be positive"
+        );
         Self { lambda }
     }
 

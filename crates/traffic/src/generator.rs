@@ -174,7 +174,11 @@ fn random_flow(cfg: &CaidaLikeConfig, rng: &mut StdRng, next_ephemeral: &mut u16
     };
     const SERVICES: [u16; 7] = [80, 443, 53, 22, 8080, 25, 993];
     let dst_port = SERVICES[rng.gen_range(0..SERVICES.len())];
-    let proto = if rng.gen_bool(0.85) { Proto::TCP } else { Proto::UDP };
+    let proto = if rng.gen_bool(0.85) {
+        Proto::TCP
+    } else {
+        Proto::UDP
+    };
     FiveTuple::new(src_ip, dst_ip, src_port, dst_port, proto)
 }
 
@@ -222,7 +226,13 @@ pub fn intermittent_flows(
     let mut t = start;
     let mut i = 0usize;
     while t < end {
-        parts.push(burst(flows[i % flows.len()], t, flow_size, burst_gap_ns, size));
+        parts.push(burst(
+            flows[i % flows.len()],
+            t,
+            flow_size,
+            burst_gap_ns,
+            size,
+        ));
         i += 1;
         t += period;
     }

@@ -62,8 +62,7 @@ impl Schedule {
 
     /// Merges any number of schedules into one.
     pub fn merge(parts: impl IntoIterator<Item = Schedule>) -> Schedule {
-        let mut packets: Vec<ScheduledPacket> =
-            parts.into_iter().flat_map(|s| s.packets).collect();
+        let mut packets: Vec<ScheduledPacket> = parts.into_iter().flat_map(|s| s.packets).collect();
         packets.sort_by_key(|p| p.at);
         Schedule { packets }
     }

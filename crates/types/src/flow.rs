@@ -173,7 +173,10 @@ impl Prefix {
         self.addr
     }
 
-    /// The prefix length in bits.
+    /// The prefix length in bits (a /0 wildcard has length 0 — see
+    /// [`Self::is_any`] — so a container-style `is_empty` has no meaning
+    /// here).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -232,12 +235,18 @@ pub struct PortRange {
 
 impl PortRange {
     /// The full wildcard `0-65535`.
-    pub const ANY: PortRange = PortRange { lo: 0, hi: u16::MAX };
+    pub const ANY: PortRange = PortRange {
+        lo: 0,
+        hi: u16::MAX,
+    };
     /// Well-known ports `0-1023`.
     pub const WELL_KNOWN: PortRange = PortRange { lo: 0, hi: 1023 };
     /// Registered + ephemeral ports `1024-65535`, the static range the
     /// paper's implementation reports (Fig. 14).
-    pub const HIGH: PortRange = PortRange { lo: 1024, hi: u16::MAX };
+    pub const HIGH: PortRange = PortRange {
+        lo: 1024,
+        hi: u16::MAX,
+    };
 
     /// An exact single-port range.
     pub fn exact(p: u16) -> Self {
@@ -505,7 +514,10 @@ mod tests {
             PortRange::exact(80).static_parent(),
             Some(PortRange::WELL_KNOWN)
         );
-        assert_eq!(PortRange::exact(2004).static_parent(), Some(PortRange::HIGH));
+        assert_eq!(
+            PortRange::exact(2004).static_parent(),
+            Some(PortRange::HIGH)
+        );
         assert_eq!(PortRange::WELL_KNOWN.static_parent(), Some(PortRange::ANY));
         assert_eq!(PortRange::ANY.static_parent(), None);
     }

@@ -1,0 +1,146 @@
+//! Deterministic fork-join helpers for the offline pipeline.
+//!
+//! Microscope's offline analysis is embarrassingly parallel by construction:
+//! each victim's queuing-period diagnosis is independent, as is each NF's
+//! per-edge record matching. These helpers shard such work across scoped
+//! worker threads while keeping the result *bit-identical* to the sequential
+//! path: every item's result is tagged with its index and the output is
+//! merged back in input order, so callers observe the same `Vec` no matter
+//! how many workers ran (or in what order they finished).
+//!
+//! Convention used across the workspace for thread counts:
+//! * `0` — auto: one worker per available CPU;
+//! * `1` — sequential (no threads spawned);
+//! * `n` — exactly `n` workers.
+
+/// Resolves a configured thread count (`0` = auto) to a concrete worker
+/// count, never less than 1.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` workers, returning results in
+/// input order.
+///
+/// Items are striped across workers (worker `w` takes items `w`, `w + T`,
+/// `w + 2T`, ...) for load balance; each result is merged back by its item
+/// index, so the output is identical to `items.iter().map(f).collect()`
+/// regardless of the worker count. With `threads <= 1` (after resolving
+/// `0` = auto) no threads are spawned at all.
+///
+/// `f` receives `(index, &item)` so callers can reach sibling state without
+/// threading it through the item type.
+pub fn par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = effective_threads(threads).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                scope.spawn(move || {
+                    items
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(i, t)| (i, f(i, t)))
+                        .collect::<Vec<(usize, U)>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, u) in h.join().expect("par_map worker panicked") {
+                slots[i] = Some(u);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index filled"))
+        .collect()
+}
+
+/// Splits `0..len` into at most `effective_threads(threads)` contiguous
+/// chunks of near-equal size, in order. Used when per-shard accumulation
+/// must preserve input order inside each shard (concatenating the shard
+/// results in chunk order then reproduces the sequential order exactly).
+pub fn chunk_ranges(threads: usize, len: usize) -> Vec<std::ops::Range<usize>> {
+    let workers = effective_threads(threads).min(len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_for_any_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [0, 1, 2, 3, 4, 7, 16, 200] {
+            let got = par_map(threads, &items, |_, &x| x * x + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_passes_indices() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let got = par_map(3, &items, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(4, &[9u8], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_in_order() {
+        for threads in [1, 2, 3, 4, 5, 8] {
+            for len in [0usize, 1, 2, 7, 64, 100] {
+                let ranges = chunk_ranges(threads, len);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, len, "threads={threads} len={len}");
+                assert!(ranges.len() <= threads.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(1), 1);
+        assert_eq!(effective_threads(6), 6);
+    }
+}

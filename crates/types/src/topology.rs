@@ -264,7 +264,10 @@ impl TopologyBuilder {
 
         // Kahn's algorithm for a topological order; leftover nodes => cycle.
         let mut indeg: Vec<usize> = upstream.iter().map(|u| u.len()).collect();
-        let mut queue: Vec<NfId> = (0..n as u16).map(NfId).filter(|i| indeg[i.0 as usize] == 0).collect();
+        let mut queue: Vec<NfId> = (0..n as u16)
+            .map(NfId)
+            .filter(|i| indeg[i.0 as usize] == 0)
+            .collect();
         let mut topo_order = Vec::with_capacity(n);
         while let Some(id) = queue.pop() {
             topo_order.push(id);
@@ -323,10 +326,18 @@ impl TopologyBuilder {
 /// the Monitors and the rest to the VPNs; Monitors feed the VPNs.
 pub fn paper_topology() -> Topology {
     let mut b = Topology::builder();
-    let nats: Vec<NfId> = (1..=4).map(|i| b.add_nf(NfKind::Nat, format!("nat{i}"))).collect();
-    let fws: Vec<NfId> = (1..=5).map(|i| b.add_nf(NfKind::Firewall, format!("fw{i}"))).collect();
-    let mons: Vec<NfId> = (1..=3).map(|i| b.add_nf(NfKind::Monitor, format!("mon{i}"))).collect();
-    let vpns: Vec<NfId> = (1..=4).map(|i| b.add_nf(NfKind::Vpn, format!("vpn{i}"))).collect();
+    let nats: Vec<NfId> = (1..=4)
+        .map(|i| b.add_nf(NfKind::Nat, format!("nat{i}")))
+        .collect();
+    let fws: Vec<NfId> = (1..=5)
+        .map(|i| b.add_nf(NfKind::Firewall, format!("fw{i}")))
+        .collect();
+    let mons: Vec<NfId> = (1..=3)
+        .map(|i| b.add_nf(NfKind::Monitor, format!("mon{i}")))
+        .collect();
+    let vpns: Vec<NfId> = (1..=4)
+        .map(|i| b.add_nf(NfKind::Vpn, format!("vpn{i}")))
+        .collect();
     for &n in &nats {
         b.add_entry(n);
         for &f in &fws {
@@ -470,7 +481,11 @@ mod tests {
     fn recursion_bound_matches_paper_formula() {
         let t = paper_topology();
         // Σ_f N_upstream(f) + entry count.
-        let expected: usize = t.nfs().iter().map(|n| t.upstream(n.id).len()).sum::<usize>()
+        let expected: usize = t
+            .nfs()
+            .iter()
+            .map(|n| t.upstream(n.id).len())
+            .sum::<usize>()
             + t.entries().len();
         assert_eq!(t.recursion_bound(), expected);
     }

@@ -155,9 +155,15 @@ pub fn parse_topology(text: &str) -> Result<(Topology, Vec<f64>), TopologyTextEr
 
 /// Emits the text format for a topology and its peak rates.
 pub fn emit_topology(topology: &Topology, rates: &[f64]) -> String {
-    let mut out = String::from("# Microscope deployment description\n# nf <name> <kind> <peak_pps>\n");
+    let mut out =
+        String::from("# Microscope deployment description\n# nf <name> <kind> <peak_pps>\n");
     for (nf, &r) in topology.nfs().iter().zip(rates) {
-        out.push_str(&format!("nf {} {} {}\n", nf.name, kind_str(nf.kind), r.round()));
+        out.push_str(&format!(
+            "nf {} {} {}\n",
+            nf.name,
+            kind_str(nf.kind),
+            r.round()
+        ));
     }
     for &e in topology.entries() {
         out.push_str(&format!("entry {}\n", topology.nf(e).name));
@@ -200,10 +206,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let (t, r) = parse_topology(
-            "# hello\n\nnf a nat 1000000 # inline comment\nentry a\n",
-        )
-        .unwrap();
+        let (t, r) =
+            parse_topology("# hello\n\nnf a nat 1000000 # inline comment\nentry a\n").unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(r, vec![1_000_000.0]);
     }
@@ -228,11 +232,11 @@ mod tests {
 
     #[test]
     fn invalid_graph_reported() {
-        let err = parse_topology(
-            "nf a nat 1e6\nnf b vpn 1e6\nedge a b\nedge b a\n",
-        )
-        .unwrap_err();
-        assert!(matches!(err, TopologyTextError::Invalid(TopologyError::Cycle)));
+        let err = parse_topology("nf a nat 1e6\nnf b vpn 1e6\nedge a b\nedge b a\n").unwrap_err();
+        assert!(matches!(
+            err,
+            TopologyTextError::Invalid(TopologyError::Cycle)
+        ));
     }
 
     #[test]

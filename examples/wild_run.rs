@@ -35,7 +35,7 @@ fn main() {
         }
     }
     let mut ranked: Vec<(String, (f64, usize))> = by_node.into_iter().collect();
-    ranked.sort_by(|a, b| b.1 .1.cmp(&a.1 .1));
+    ranked.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then_with(|| a.0.cmp(&b.0)));
     println!("\ntop culprit locations (by victims where they rank #1):");
     for (name, (score, victims)) in ranked.iter().take(8) {
         println!("  {name:>14}: {victims:>5} victims, blame mass {score:.0}");
@@ -61,7 +61,7 @@ fn main() {
         .filter(|d| {
             d.culprits
                 .first()
-                .map_or(false, |c| c.node != NodeId::Nf(d.victim.nf))
+                .is_some_and(|c| c.node != NodeId::Nf(d.victim.nf))
         })
         .count();
     println!(

@@ -77,12 +77,12 @@ pub mod prelude {
     pub use msc_trace::{reconstruct, Reconstruction, ReconstructionConfig, Timelines};
     pub use netmedic::{NetMedic, NetMedicConfig};
     pub use nf_sim::{
-        paper_nf_configs, Fault, NfConfig, RoutePolicy, ScenarioBuilder, ServiceModel,
-        SimConfig, Simulation,
+        paper_nf_configs, Fault, NfConfig, RoutePolicy, ScenarioBuilder, ServiceModel, SimConfig,
+        Simulation,
     };
     pub use nf_traffic::{burst, cbr, CaidaLike, CaidaLikeConfig, Schedule};
     pub use nf_types::{
-        paper_topology, FiveTuple, NfId, NfKind, NodeId, Packet, Proto, Topology, MICROS,
-        MILLIS, SECONDS,
+        paper_topology, FiveTuple, NfId, NfKind, NodeId, Packet, Proto, Topology, MICROS, MILLIS,
+        SECONDS,
     };
 }

@@ -140,11 +140,7 @@ fn burst_victims_blame_the_source_and_patterns_name_the_flow() {
     // appear in the culprit flow sets.
     let src_top = diagnoses
         .iter()
-        .filter(|d| {
-            d.culprits
-                .first()
-                .map_or(false, |c| c.node == NodeId::Source)
-        })
+        .filter(|d| d.culprits.first().is_some_and(|c| c.node == NodeId::Source))
         .count();
     assert!(
         src_top * 2 > diagnoses.len(),
@@ -190,9 +186,18 @@ fn microscope_beats_netmedic_with_ground_truth_attribution() {
     );
     let run = microscope_repro::experiments::run_spec(&spec);
     let nm = NetMedic::new(run.topology.clone(), NetMedicConfig::default());
-    let hist = build_history(&run.out, run.topology.len(), &run.peak_rates, nm.window_ns());
+    let hist = build_history(
+        &run.out,
+        run.topology.len(),
+        &run.peak_rates,
+        nm.window_ns(),
+    );
     let scored = score_run(&run, &nm, &hist);
-    assert!(scored.len() > 20, "too few scored victims: {}", scored.len());
+    assert!(
+        scored.len() > 20,
+        "too few scored victims: {}",
+        scored.len()
+    );
     let ms: Vec<usize> = scored.iter().map(|s| s.microscope_rank).collect();
     let nmr: Vec<usize> = scored.iter().map(|s| s.netmedic_rank).collect();
     assert!(
@@ -228,6 +233,59 @@ fn recursion_depth_stays_within_paper_bound() {
     // The paper observed <= 5 in practice on this topology; allow slack but
     // assert the same order of magnitude.
     assert!(max_rec <= 12, "recursions {max_rec} look unbounded");
+}
+
+#[test]
+fn parallel_pipeline_is_bit_identical_to_sequential_on_16_nf_run() {
+    // The paper's 16-NF deployment with an injected interrupt, reconstructed
+    // and diagnosed once sequentially and then with several worker counts.
+    // The parallel pipeline merges all shards in stable input order, so
+    // every artifact must compare equal — not approximately, identically.
+    let topology = paper_topology();
+    assert_eq!(topology.len(), 16, "the paper deployment has 16 NFs");
+    let nat2 = topology.by_name("nat2").unwrap();
+    let (t, rates, out, _recon, _tl) = run_paper_chain(
+        1_200_000.0,
+        25,
+        11,
+        vec![Fault::Interrupt {
+            nf: nat2,
+            at: 10 * MILLIS,
+            duration: MILLIS,
+        }],
+    );
+
+    let seq_recon = reconstruct(&t, &out.bundle, &ReconstructionConfig::default());
+    let seq_timelines = Timelines::build(&seq_recon);
+    let seq_engine = Microscope::new(t.clone(), rates.clone(), DiagnosisConfig::default());
+    let seq_diag = seq_engine.diagnose_all(&seq_recon, &seq_timelines);
+    assert!(!seq_diag.is_empty(), "the interrupt must produce victims");
+
+    for threads in [2usize, 4, 8] {
+        let recon_cfg = ReconstructionConfig {
+            threads,
+            ..Default::default()
+        };
+        let par_recon = reconstruct(&t, &out.bundle, &recon_cfg);
+        assert_eq!(par_recon.traces, seq_recon.traces, "threads={threads}");
+        assert_eq!(par_recon.report, seq_recon.report, "threads={threads}");
+        assert_eq!(
+            par_recon.rx_to_trace, seq_recon.rx_to_trace,
+            "threads={threads}"
+        );
+
+        let par_timelines = Timelines::build(&par_recon);
+        let par_engine = Microscope::new(
+            t.clone(),
+            rates.clone(),
+            DiagnosisConfig {
+                threads,
+                ..Default::default()
+            },
+        );
+        let par_diag = par_engine.diagnose_all(&par_recon, &par_timelines);
+        assert_eq!(par_diag, seq_diag, "threads={threads}");
+    }
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests over the core invariants, spanning crates.
 
 use microscope_repro::collector::{
-    decode_nf_log, encode_nf_log, FlowRecord, NfLog, RxBatch, TxBatch,
+    decode_nf_log, encode_nf_log, FlowRecord, NfLog, PacketMeta, RxBatch, TxBatch,
 };
 use microscope_repro::diagnosis::local_scores;
 use microscope_repro::diagnosis::propagation::credit_walk;
@@ -24,7 +24,10 @@ fn arb_flow() -> impl Strategy<Value = FiveTuple> {
 
 fn arb_nf_log() -> impl Strategy<Value = NfLog> {
     let rx = proptest::collection::vec(
-        (0u64..1_000_000_000, proptest::collection::vec(any::<u16>(), 1..=32)),
+        (
+            0u64..1_000_000_000,
+            proptest::collection::vec(any::<u16>(), 1..=32),
+        ),
         0..20,
     );
     let tx = proptest::collection::vec(
@@ -97,11 +100,14 @@ proptest! {
     }
 
     /// §4.2 credit walk: credits are conserved — they sum to exactly the
-    /// effective timespan reduction, and no credit is negative.
+    /// effective timespan reduction, and no credit is negative. Spans range
+    /// up to 3× the largest `texp` so stretch-past-`texp` (where the walk
+    /// resets its baseline to `out.min(texp)`, not `out`) is exercised on
+    /// arbitrary squeeze/stretch interleavings.
     #[test]
     fn credit_walk_conserves_reduction(
         texp in 1u64..1_000_000,
-        spans in proptest::collection::vec(0u64..1_000_000, 1..8),
+        spans in proptest::collection::vec(0u64..3_000_000, 1..10),
     ) {
         let credits = credit_walk(texp, &spans);
         prop_assert_eq!(credits.len(), spans.len());
@@ -114,6 +120,7 @@ proptest! {
             .fold(texp, |prev, &s| if s < prev { s } else { s.min(texp) });
         let total: u64 = credits.iter().sum();
         prop_assert_eq!(total, texp.saturating_sub(eff));
+        prop_assert!(total <= texp);
         prop_assert!(credits.iter().all(|&c| c <= texp));
     }
 
@@ -137,6 +144,70 @@ proptest! {
         }
     }
 
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// §7 timestamp audit: clock-skew correction clamps record timestamps
+    /// at 0 while source emission times keep running, so a corrected bundle
+    /// can legitimately contain arrivals that precede their own send times.
+    /// Every downstream `sent − arrival`-style subtraction must saturate —
+    /// this feeds adversarial per-NF offsets (far beyond anything the
+    /// estimator would emit) straight into `correct_bundle` and asserts the
+    /// whole reconstruct → find_victims path survives without an underflow
+    /// panic (debug builds abort on wrapping subtraction).
+    #[test]
+    fn skew_corrected_pipeline_never_underflows(
+        offsets in proptest::collection::vec(-2_000_000_000i64..2_000_000_000, 2),
+        n_pkts in 32u16..128,
+        spacing in 500u64..20_000,
+    ) {
+        let mut b = Topology::builder();
+        let a = b.add_nf(NfKind::Nat, "nat1");
+        let v = b.add_nf(NfKind::Vpn, "vpn1");
+        b.add_entry(a);
+        b.add_edge(a, v);
+        let topo = b.build().unwrap();
+
+        let mut c = Collector::new(&topo, CollectorConfig::default());
+        for i in 0..n_pkts {
+            let m = PacketMeta {
+                ipid: i,
+                flow: FiveTuple::new(0x0a000001, 0x14000001, 1000, 80, Proto::TCP),
+            };
+            let t = 1_000 + i as u64 * spacing;
+            c.record_source(t, &m);
+            // Each NF's records carry its own (adversarially) skewed clock.
+            let skewed = |true_ts: u64, off: i64| (true_ts as i64 + off).max(0) as u64;
+            c.record_rx(NfId(0), skewed(t + 1_000, offsets[0]), &[m]);
+            c.record_tx(NfId(0), skewed(t + 2_000, offsets[0]), Some(NfId(1)), &[m]);
+            c.record_rx(NfId(1), skewed(t + 3_000, offsets[1]), &[m]);
+            c.record_tx(NfId(1), skewed(t + 5_000, offsets[1]), None, &[m]);
+        }
+        let bundle = c.into_bundle();
+
+        let vcfg = VictimConfig {
+            latency: LatencyThreshold::Quantile(0.5),
+            ..Default::default()
+        };
+        // Path 1: the estimator's own offsets (whatever it makes of the
+        // adversarial clocks).
+        let est = microscope_repro::trace::estimate_offsets(
+            &topo,
+            &bundle,
+            &microscope_repro::trace::SkewConfig::default(),
+        );
+        let fixed = microscope_repro::trace::correct_bundle(&bundle, &est);
+        let recon = reconstruct(&topo, &fixed, &ReconstructionConfig::default());
+        let _ = microscope_repro::diagnosis::find_victims(&recon, &vcfg);
+
+        // Path 2: the raw adversarial offsets applied directly — correction
+        // pins whole logs to ts = 0, the worst case for underflow.
+        let fixed = microscope_repro::trace::correct_bundle(&bundle, &offsets);
+        let recon = reconstruct(&topo, &fixed, &ReconstructionConfig::default());
+        let _ = microscope_repro::diagnosis::find_victims(&recon, &vcfg);
+    }
 }
 
 proptest! {
