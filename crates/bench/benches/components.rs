@@ -130,12 +130,75 @@ fn bench_matching(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_diagnosis_components(c: &mut Criterion) {
+    use microscope::credit_walk_into;
+
+    let fx = fixture(1_600_000.0, 10, 42);
+    // The busiest NF timeline gives the indexed period lookup a realistic
+    // arrival density; probe anchors stride across its arrivals.
+    let tl = (0..fx.topology.len() as u16)
+        .map(|i| fx.timelines.nf(NfId(i)))
+        .max_by_key(|tl| tl.arrivals.len())
+        .expect("paper topology has NFs");
+    let probes: Vec<u64> = tl
+        .arrivals
+        .iter()
+        .step_by((tl.arrivals.len() / 256).max(1))
+        .map(|a| a.ts)
+        .collect();
+
+    let mut g = c.benchmark_group("diagnosis");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    g.bench_function("queuing_period_above_t0", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|&t| tl.queuing_period_above(t, 0).n_arrived)
+                .sum::<u64>()
+        });
+    });
+    g.bench_function("queuing_period_above_t32", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|&t| tl.queuing_period_above(t, 32).n_arrived)
+                .sum::<u64>()
+        });
+    });
+
+    // A realistic §4.2 walk: paper-depth chains with mixed squeezes and
+    // stretches, through the reusable scratch buffers.
+    let walks: Vec<Vec<u64>> = (0..256u64)
+        .map(|i| {
+            (0..6)
+                .map(|j| 1_000_000 / (1 + (i * 7 + j * 13) % 97))
+                .collect()
+        })
+        .collect();
+    g.throughput(Throughput::Elements(walks.len() as u64));
+    g.bench_function("credit_walk_depth6", |b| {
+        let mut credits = Vec::new();
+        let mut stack = Vec::new();
+        b.iter(|| {
+            walks
+                .iter()
+                .map(|w| {
+                    credit_walk_into(2_000_000, w, &mut credits, &mut stack);
+                    credits.iter().sum::<u64>()
+                })
+                .sum::<u64>()
+        });
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_collector,
     bench_ring,
     bench_simulator,
     bench_traffic,
-    bench_matching
+    bench_matching,
+    bench_diagnosis_components
 );
 criterion_main!(benches);

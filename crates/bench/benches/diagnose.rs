@@ -8,11 +8,17 @@
 //! `results/BENCH_diagnose.json` at the workspace root; without `--bench`
 //! in the arguments it runs a quick smoke configuration and skips the file.
 //!
-//! The parallel pipeline merges shards in stable input order, so the bench
-//! also cross-checks that every thread count yields output identical to the
-//! sequential run before timing anything.
+//! Two correctness gates run before anything is timed:
+//! * the parallel pipeline merges shards in stable input order, so every
+//!   thread count must yield output identical to the sequential run;
+//! * the period-keyed step cache must be invisible — the cached pipeline's
+//!   diagnoses must be bit-identical to a cache-disabled run.
+//!
+//! The JSON records `baseline_diagnose_ms` (cache off, one thread) next to
+//! the cached timings plus the cache hit rate, so the perf trajectory
+//! stays comparable across PRs.
 
-use microscope::{Diagnosis, DiagnosisConfig, LatencyThreshold, Microscope};
+use microscope::{CacheStats, Diagnosis, DiagnosisConfig, LatencyThreshold, Microscope};
 use msc_trace::{reconstruct, Reconstruction, ReconstructionConfig, Timelines};
 use nf_sim::{paper_nf_configs, Fault, SimConfig, SimOutput, Simulation};
 use nf_traffic::{CaidaLike, CaidaLikeConfig};
@@ -53,9 +59,10 @@ fn scenario(rate_pps: f64, millis: u64, seed: u64) -> Scenario {
     }
 }
 
-fn diagnosis_config(threads: usize) -> DiagnosisConfig {
+fn diagnosis_config(threads: usize, cache: bool) -> DiagnosisConfig {
     let mut dc = DiagnosisConfig {
         threads,
+        cache,
         ..Default::default()
     };
     dc.victims.latency = LatencyThreshold::Quantile(0.95);
@@ -70,14 +77,19 @@ fn run_reconstruct(sc: &Scenario, threads: usize) -> Reconstruction {
     reconstruct(&sc.topology, &sc.out.bundle, &cfg)
 }
 
-fn run_diagnose(sc: &Scenario, recon: &Reconstruction, threads: usize) -> Vec<Diagnosis> {
+fn run_diagnose(
+    sc: &Scenario,
+    recon: &Reconstruction,
+    threads: usize,
+    cache: bool,
+) -> (Vec<Diagnosis>, CacheStats) {
     let timelines = Timelines::build(recon);
     let engine = Microscope::new(
         sc.topology.clone(),
         sc.peak_rates.clone(),
-        diagnosis_config(threads),
+        diagnosis_config(threads, cache),
     );
-    engine.diagnose_all(recon, &timelines)
+    engine.diagnose_all_stats(recon, &timelines)
 }
 
 /// Minimum wall time over `reps` runs, in seconds.
@@ -111,11 +123,15 @@ fn main() {
         sc.out.bundle.source_flows.len()
     );
 
-    // Correctness gate: every thread count must reproduce the sequential
-    // output exactly before any of them is worth timing.
+    // Correctness gates: every thread count must reproduce the sequential
+    // output exactly, and the step cache must not change a single bit of
+    // it, before any configuration is worth timing.
     let seq_recon = run_reconstruct(&sc, 1);
-    let seq_diag = run_diagnose(&sc, &seq_recon, 1);
+    let (seq_diag, seq_stats) = run_diagnose(&sc, &seq_recon, 1, true);
     assert!(!seq_diag.is_empty(), "scenario produced no victims");
+    let (nocache_diag, nocache_stats) = run_diagnose(&sc, &seq_recon, 1, false);
+    assert_eq!(nocache_diag, seq_diag, "cache changed the diagnosis output");
+    assert_eq!(nocache_stats, CacheStats::default());
     for &t in thread_counts {
         let r = run_reconstruct(&sc, t);
         assert_eq!(
@@ -123,26 +139,38 @@ fn main() {
             "reconstruct diverged at {t} threads"
         );
         assert_eq!(
-            run_diagnose(&sc, &r, t),
+            run_diagnose(&sc, &r, t, true).0,
             seq_diag,
             "diagnosis diverged at {t} threads"
         );
+        assert_eq!(
+            run_diagnose(&sc, &r, t, false).0,
+            seq_diag,
+            "uncached diagnosis diverged at {t} threads"
+        );
     }
     eprintln!(
-        "output identical across thread counts ({} traces, {} diagnoses)",
+        "output identical across thread counts and cache on/off \
+         ({} traces, {} diagnoses, {:.1}% step-cache hit rate)",
         seq_recon.traces.len(),
-        seq_diag.len()
+        seq_diag.len(),
+        seq_stats.hit_rate() * 100.0
     );
+
+    // The trajectory baseline: the unshared (cache-off) sequential path.
+    let baseline_s = time_best(reps, || run_diagnose(&sc, &seq_recon, 1, false));
 
     let mut rows = Vec::new();
     for &t in thread_counts {
         let recon_s = time_best(reps, || run_reconstruct(&sc, t));
         let recon = run_reconstruct(&sc, t);
-        let diag_s = time_best(reps, || run_diagnose(&sc, &recon, t));
+        let diag_s = time_best(reps, || run_diagnose(&sc, &recon, t, true));
         eprintln!(
-            "threads={t}: reconstruct {:.1} ms, diagnose {:.1} ms",
+            "threads={t}: reconstruct {:.1} ms, diagnose {:.1} ms \
+             (uncached baseline {:.1} ms)",
             recon_s * 1e3,
-            diag_s * 1e3
+            diag_s * 1e3,
+            baseline_s * 1e3
         );
         rows.push((t, recon_s, diag_s));
     }
@@ -166,9 +194,13 @@ fn main() {
          \"rate_pps\": {rate_pps:.0}, \"millis\": {millis}, \"seed\": {seed}, \
          \"source_packets\": {}, \"victims\": {}}},\n  \
          \"hardware\": {{\"available_parallelism\": {cpus}}},\n  \
-         \"identical_output\": true,\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"identical_output\": true,\n  \
+         \"cache_hit_rate\": {:.4},\n  \"baseline_diagnose_ms\": {:.3},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
         sc.out.bundle.source_flows.len(),
         seq_diag.len(),
+        seq_stats.hit_rate(),
+        baseline_s * 1e3,
         json_rows.join(",\n")
     );
 

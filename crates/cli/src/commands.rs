@@ -20,7 +20,7 @@ commands:
            [--interrupt NF:AT_MS:LEN_US]... [--skew]
   inspect  --bundle FILE
   diagnose --topology FILE --bundle FILE [--quantile Q] [--threshold PKTS]
-           [--top N] [--skew] [--threads N]
+           [--top N] [--skew] [--threads N] [--no-cache]
   skew     --topology FILE --bundle FILE
 
 run `microscope <command>` with missing flags to see its specific errors.";
@@ -239,6 +239,9 @@ pub fn diagnose(args: &[String]) -> Result<(), String> {
 
     let mut dc = DiagnosisConfig {
         threads,
+        // Period-keyed memoization (on by default; `--no-cache` benchmarks
+        // the unshared path — the reported diagnoses are identical).
+        cache: !f.has("no-cache"),
         ..Default::default()
     };
     dc.victims.latency = LatencyThreshold::Quantile(quantile);
@@ -252,7 +255,18 @@ pub fn diagnose(args: &[String]) -> Result<(), String> {
         eprintln!("note: --threshold is accepted for timeline queries; diagnosis uses 0");
     }
     let engine = Microscope::new(topology.clone(), rates, dc);
-    let diagnoses = engine.diagnose_all(&recon, &timelines);
+    let (diagnoses, cache_stats) = engine.diagnose_all_stats(&recon, &timelines);
+    // Cache statistics go to stderr: stdout is diffed by the determinism
+    // CI job, and hit/miss interleaving is timing-dependent under threads.
+    if cache_stats.hits + cache_stats.misses > 0 {
+        eprintln!(
+            "step cache: {} hits / {} misses ({:.1}% hit rate, {} periods)",
+            cache_stats.hits,
+            cache_stats.misses,
+            cache_stats.hit_rate() * 100.0,
+            cache_stats.entries
+        );
+    }
     println!("diagnosed {} victim (packet, NF) pairs\n", diagnoses.len());
 
     // Ranked culprit locations.

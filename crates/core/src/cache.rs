@@ -1,0 +1,223 @@
+//! Period-keyed memoization of diagnosis steps.
+//!
+//! Microscope's own observation (§6.3) makes per-victim recomputation pure
+//! waste: victims cluster inside bursts, so thousands of victims at one NF
+//! share the *same* queuing period — and therefore the same §4.1 period
+//! extraction, §4.2 PreSet attribution and §4.3 recursion anchors. This
+//! module caches one [`DiagnosisStep`] per distinct
+//! `(nf, anchor_ts, threshold)` so that work happens once per period
+//! instead of once per victim.
+//!
+//! ## Why this preserves bit-identical output
+//!
+//! Every field of a step is a *pure function of its key* for a fixed
+//! reconstruction and configuration: `queuing_period_above` is a
+//! deterministic index lookup, and `preset_flows` / `attribute_upstream`
+//! are deterministic folds over the period's arrivals (both already
+//! canonically ordered to be independent of `HashMap` iteration order).
+//! Victim-dependent state — the blame `weight`, depth pruning and the
+//! per-victim `visited` cycle list — stays *outside* the cache in the
+//! recursion driver. Consequently a hit returns exactly the value a miss
+//! would have computed, and the hit/miss interleaving across worker
+//! threads cannot affect any diagnosis, only the counters.
+
+use crate::local::LocalScores;
+use crate::propagation::UpstreamShare;
+use msc_trace::QueuingPeriod;
+use nf_types::{FiveTuple, Nanos, NfId};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Cache key: `(nf, anchor timestamp, §7 start threshold)`. Anchors — not
+/// period starts — key the cache because `queuing_period(t)` is resolved
+/// *by* the lookup; batched upstream sends give many victims the same
+/// anchor, and §4.3 recursion anchors (an upstream period's last PreSet
+/// arrival) collide across victims of the same burst by construction.
+pub type StepKey = (NfId, Nanos, u64);
+
+/// The memoized per-period work of one §4.3 recursion step.
+///
+/// `qp`, `scores` and `preset_flows` are computed when the entry is built;
+/// `shares` stays lazy (most steps never need §4.2 — the input share is
+/// pruned or the period is empty) and is filled at most once per *period*
+/// rather than once per victim.
+#[derive(Debug)]
+pub struct DiagnosisStep {
+    /// The §4.1 queuing period at the key's anchor.
+    pub qp: QueuingPeriod,
+    /// Local `Si`/`Sp` scores of that period.
+    pub scores: LocalScores,
+    /// Flows of the PreSet packets (culprit flows for local blame).
+    pub preset_flows: Vec<(FiveTuple, f64)>,
+    /// Lazy §4.2 upstream attribution of the period's PreSet.
+    pub shares: OnceLock<Vec<UpstreamShare>>,
+}
+
+impl DiagnosisStep {
+    /// The upstream shares, computing them on first use. Concurrent racers
+    /// may both run `make`, but it is a pure function of the step's key, so
+    /// whichever value wins is identical.
+    pub fn shares_or_init(&self, make: impl FnOnce() -> Vec<UpstreamShare>) -> &[UpstreamShare] {
+        self.shares.get_or_init(make)
+    }
+}
+
+/// Cache statistics for one diagnosis run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Step lookups answered from the cache.
+    pub hits: u64,
+    /// Step lookups that computed a fresh entry. Under concurrent racing
+    /// misses on one key this may slightly overcount `entries`.
+    pub misses: u64,
+    /// Distinct entries resident at the end of the run.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded concurrent map from [`StepKey`] to immutable `Arc`ed
+/// [`DiagnosisStep`]s, shared read-mostly across the diagnosis workers.
+///
+/// Sharding keeps lock contention negligible (readers of different periods
+/// rarely collide), and entries are inserted with first-write-wins so a
+/// racing duplicate computation is dropped, never swapped in after another
+/// thread already observed the first value.
+pub struct DiagnosisCache {
+    shards: Vec<RwLock<HashMap<StepKey, Arc<DiagnosisStep>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+const SHARDS: usize = 64;
+
+impl DiagnosisCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &StepKey) -> &RwLock<HashMap<StepKey, Arc<DiagnosisStep>>> {
+        // Cheap deterministic mix of the key fields; only shard balance
+        // depends on it, never output.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// The step for `key`, computing it with `make` on a miss. `make` runs
+    /// *outside* the shard lock, so a slow §4.1 walk never blocks readers
+    /// of other keys in the same shard.
+    pub fn step(&self, key: StepKey, make: impl FnOnce() -> DiagnosisStep) -> Arc<DiagnosisStep> {
+        let shard = self.shard(&key);
+        if let Some(step) = shard.read().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(step);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(make());
+        let mut w = shard.write().expect("cache shard poisoned");
+        // First insert wins: if another thread raced us here, keep its
+        // entry (the values are identical anyway; keeping the resident one
+        // means every Arc ever handed out aliases a single allocation).
+        Arc::clone(w.entry(key).or_insert(fresh))
+    }
+
+    /// Current statistics. Counters are `Relaxed`; exact under `threads=1`,
+    /// approximate (but close) under concurrency.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.read().expect("cache shard poisoned").len() as u64)
+                .sum(),
+        }
+    }
+}
+
+impl Default for DiagnosisCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_types::Interval;
+
+    fn dummy_step(n: u64) -> DiagnosisStep {
+        DiagnosisStep {
+            qp: QueuingPeriod {
+                interval: Interval::new(0, n),
+                preset: 0..0,
+                n_arrived: n,
+                n_processed: 0,
+            },
+            scores: LocalScores { si: 0.0, sp: 0.0 },
+            preset_flows: Vec::new(),
+            shares: OnceLock::new(),
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_entry() {
+        let cache = DiagnosisCache::new();
+        let key = (NfId(3), 1_000, 0);
+        let a = cache.step(key, || dummy_step(7));
+        let b = cache.step(key, || panic!("must not recompute on a hit"));
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_entries() {
+        let cache = DiagnosisCache::new();
+        let a = cache.step((NfId(0), 1, 0), || dummy_step(1));
+        let b = cache.step((NfId(0), 2, 0), || dummy_step(2));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn shares_init_once() {
+        let step = dummy_step(1);
+        let first = step.shares_or_init(Vec::new).len();
+        assert_eq!(first, 0);
+        let again = step.shares_or_init(|| {
+            vec![UpstreamShare {
+                node: nf_types::NodeId::Source,
+                fraction: 1.0,
+                first_arrival: None,
+                last_arrival: None,
+            }]
+        });
+        assert!(again.is_empty(), "OnceLock must keep the first value");
+    }
+
+    #[test]
+    fn empty_stats_hit_rate_is_zero() {
+        assert_eq!(DiagnosisCache::new().stats().hit_rate(), 0.0);
+    }
+}

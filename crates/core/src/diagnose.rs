@@ -1,11 +1,13 @@
 //! The recursive diagnosis driver (§4.3) and the [`Microscope`] facade.
 
+use crate::cache::{CacheStats, DiagnosisCache, DiagnosisStep};
 use crate::local::local_scores;
-use crate::propagation::attribute_upstream;
+use crate::propagation::{attribute_upstream_with, UpstreamScratch};
 use crate::victim::{find_victims_with, Victim, VictimConfig};
 use msc_trace::{ArrivalKind, Reconstruction, Timelines};
 use nf_types::{FiveTuple, Interval, Nanos, NfId, NodeId, Topology};
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// How a culprit contributed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -66,6 +68,11 @@ pub struct DiagnosisConfig {
     /// results merge in victim order, so the output is bit-identical for
     /// any worker count.
     pub threads: usize,
+    /// Memoize §4.1/§4.2 step results per `(nf, anchor, threshold)` across
+    /// victims (see [`crate::cache`]). Cache entries are pure functions of
+    /// their key, so this never changes the output — disabling it exists
+    /// for benchmarking and for bit-identity tests.
+    pub cache: bool,
 }
 
 impl Default for DiagnosisConfig {
@@ -76,6 +83,7 @@ impl Default for DiagnosisConfig {
             max_depth: 16,
             max_flows_per_culprit: 64,
             threads: 1,
+            cache: true,
         }
     }
 }
@@ -119,25 +127,54 @@ impl Microscope {
     /// `cfg.threads` workers; results merge in victim order, so the output
     /// is identical to a single-threaded run.
     pub fn diagnose_all(&self, recon: &Reconstruction, timelines: &Timelines) -> Vec<Diagnosis> {
-        let victims = find_victims_with(recon, &self.cfg.victims, self.cfg.threads);
-        nf_types::par_map(self.cfg.threads, &victims, |_, &v| {
-            self.diagnose(recon, timelines, v)
-        })
+        self.diagnose_all_stats(recon, timelines).0
     }
 
-    /// Diagnoses one victim.
+    /// [`Microscope::diagnose_all`], also returning the step-cache
+    /// statistics of the run (all zeros when `cfg.cache` is off).
+    pub fn diagnose_all_stats(
+        &self,
+        recon: &Reconstruction,
+        timelines: &Timelines,
+    ) -> (Vec<Diagnosis>, CacheStats) {
+        let victims = find_victims_with(recon, &self.cfg.victims, self.cfg.threads);
+        let cache = self.cfg.cache.then(DiagnosisCache::new);
+        let diagnoses = nf_types::par_map(self.cfg.threads, &victims, |_, &v| {
+            self.diagnose_with(recon, timelines, cache.as_ref(), v)
+        });
+        let stats = cache.map(|c| c.stats()).unwrap_or_default();
+        (diagnoses, stats)
+    }
+
+    /// Diagnoses one victim (uncached).
     pub fn diagnose(
         &self,
         recon: &Reconstruction,
         timelines: &Timelines,
         victim: Victim,
     ) -> Diagnosis {
+        self.diagnose_with(recon, timelines, None, victim)
+    }
+
+    /// Diagnoses one victim, sharing per-period work through `cache` when
+    /// one is supplied. Cache entries are pure functions of their key, so
+    /// the result is identical either way.
+    pub fn diagnose_with(
+        &self,
+        recon: &Reconstruction,
+        timelines: &Timelines,
+        cache: Option<&DiagnosisCache>,
+        victim: Victim,
+    ) -> Diagnosis {
         let mut acc: HashMap<(NodeId, u8), Culprit> = HashMap::new();
         let mut recursions = 0usize;
         let mut visited: Vec<(NfId, Nanos)> = Vec::new();
+        let mut scratch = UpstreamScratch::default();
         self.attribute(
             recon,
             timelines,
+            cache,
+            &mut scratch,
             victim.nf,
             victim.arrival_ts,
             1.0,
@@ -172,6 +209,8 @@ impl Microscope {
         &self,
         recon: &Reconstruction,
         timelines: &Timelines,
+        cache: Option<&DiagnosisCache>,
+        scratch: &mut UpstreamScratch,
         nf: NfId,
         t: Nanos,
         weight: f64,
@@ -183,13 +222,15 @@ impl Microscope {
         if weight < self.cfg.min_score || depth > self.cfg.max_depth {
             return;
         }
-        let timeline = timelines.nf(nf);
-        let qp = timeline.queuing_period(t);
-
-        // Flows present in the queuing period (culprit packets for local
-        // blame: the packets whose processing was slow / who filled the
-        // queue).
-        let preset_flows = self.preset_flows(recon, timelines, nf, &qp.preset);
+        // The whole §4.1 step — period extraction, local scores and the
+        // period's culprit flows — is a pure function of (nf, t), so it is
+        // shared across every victim that lands in this period.
+        let step = match cache {
+            Some(c) => c.step((nf, t, 0), || self.make_step(recon, timelines, nf, t)),
+            None => Arc::new(self.make_step(recon, timelines, nf, t)),
+        };
+        let qp = &step.qp;
+        let preset_flows = &step.preset_flows;
 
         if qp.is_empty() || qp.queue_len() <= 0 {
             // No queue: the packet was delayed inside the NF itself
@@ -201,13 +242,13 @@ impl Microscope {
                     kind: CulpritKind::LocalProcessing,
                     score: weight,
                     window: qp.interval,
-                    flows: preset_flows,
+                    flows: preset_flows.clone(),
                 },
             );
             return;
         }
 
-        let scores = local_scores(&qp, self.peak_rates[nf.0 as usize]);
+        let scores = step.scores;
         let total = scores.total().max(f64::EPSILON);
         let local_share = weight * (scores.sp.max(0.0) / total);
         let input_share = weight * (scores.si.max(0.0) / total);
@@ -230,14 +271,18 @@ impl Microscope {
         }
 
         // §4.2: split the input share across upstream nodes by timespan
-        // reduction.
-        let shares = attribute_upstream(
-            recon,
-            timeline,
-            &qp.preset,
-            nf,
-            self.peak_rates[nf.0 as usize],
-        );
+        // reduction. Lazy per period: only the first victim needing it
+        // pays; later victims (and recursion steps) reuse the shares.
+        let shares = step.shares_or_init(|| {
+            attribute_upstream_with(
+                recon,
+                timelines.nf(nf),
+                &qp.preset,
+                nf,
+                self.peak_rates[nf.0 as usize],
+                scratch,
+            )
+        });
         if shares.is_empty() {
             // PreSet unresolvable: keep the blame at this NF's input —
             // attribute to source as a catch-all.
@@ -248,7 +293,7 @@ impl Microscope {
                     kind: CulpritKind::SourceBurst,
                     score: input_share,
                     window: qp.interval,
-                    flows: preset_flows,
+                    flows: preset_flows.clone(),
                 },
             );
             return;
@@ -303,6 +348,8 @@ impl Microscope {
                     self.attribute(
                         recon,
                         timelines,
+                        cache,
+                        scratch,
                         up,
                         anchor,
                         s,
@@ -313,6 +360,28 @@ impl Microscope {
                     );
                 }
             }
+        }
+    }
+
+    /// Computes one memoizable diagnosis step: the §4.1 queuing period at
+    /// `(nf, t)`, its local scores and its PreSet flows. Pure in
+    /// `(nf, t)` for a fixed reconstruction and config — the cache relies
+    /// on that.
+    fn make_step(
+        &self,
+        recon: &Reconstruction,
+        timelines: &Timelines,
+        nf: NfId,
+        t: Nanos,
+    ) -> DiagnosisStep {
+        let qp = timelines.nf(nf).queuing_period(t);
+        let scores = local_scores(&qp, self.peak_rates[nf.0 as usize]);
+        let preset_flows = self.preset_flows(recon, timelines, nf, &qp.preset);
+        DiagnosisStep {
+            qp,
+            scores,
+            preset_flows,
+            shares: OnceLock::new(),
         }
     }
 

@@ -25,6 +25,7 @@
 //!    [`autofocus::CausalRelation`]s and aggregate into the ranked causal
 //!    patterns of §4.4 ([`report`]).
 
+pub mod cache;
 pub mod diagnose;
 pub mod local;
 pub mod misbehaviour;
@@ -32,10 +33,14 @@ pub mod propagation;
 pub mod report;
 pub mod victim;
 
+pub use cache::{CacheStats, DiagnosisCache, DiagnosisStep, StepKey};
 pub use diagnose::{Culprit, CulpritKind, Diagnosis, DiagnosisConfig, Microscope};
 pub use local::{local_scores, LocalScores};
 pub use misbehaviour::{detect_misbehaviour, Misbehaviour, MisbehaviourConfig};
-pub use propagation::{attribute_upstream, UpstreamShare};
+pub use propagation::{
+    attribute_upstream, attribute_upstream_with, credit_walk, credit_walk_into, UpstreamScratch,
+    UpstreamShare,
+};
 pub use report::{diagnoses_to_relations, rank_culprits, RankedCulprit};
 pub use victim::{
     find_victims, find_victims_with, LatencyThreshold, Victim, VictimConfig, VictimKind,

@@ -38,27 +38,56 @@ pub struct UpstreamShare {
 /// Returns per-node credited reductions; their sum is
 /// `max(0, texp − final_effective_timespan)`.
 pub fn credit_walk(texp: Nanos, timespans: &[Nanos]) -> Vec<Nanos> {
-    let mut credits: Vec<Nanos> = vec![0; timespans.len()];
+    let mut credits = Vec::new();
+    let mut stack = Vec::new();
+    credit_walk_into(texp, timespans, &mut credits, &mut stack);
+    credits
+}
+
+/// [`credit_walk`] into caller-owned buffers, so the per-victim hot path
+/// allocates nothing. `stack` holds the indices that still carry credit
+/// (always in increasing order), which turns the stretch-cancellation scan
+/// into an amortised O(1) pop: each index is pushed once and removed at
+/// most once, instead of being revisited by every later stretch.
+pub fn credit_walk_into(
+    texp: Nanos,
+    timespans: &[Nanos],
+    credits: &mut Vec<Nanos>,
+    stack: &mut Vec<usize>,
+) {
+    credits.clear();
+    credits.resize(timespans.len(), 0);
+    stack.clear();
     let mut prev_out = texp;
     for (i, &out) in timespans.iter().enumerate() {
         if out < prev_out {
             credits[i] = prev_out - out;
+            stack.push(i);
             prev_out = out;
         } else {
             // Stretch: cancel credit from the most recent squeezers.
             let mut excess = out - prev_out;
-            for j in (0..i).rev() {
-                if excess == 0 {
-                    break;
-                }
+            while excess > 0 {
+                let Some(&j) = stack.last() else { break };
                 let cancel = excess.min(credits[j]);
                 credits[j] -= cancel;
                 excess -= cancel;
+                if credits[j] == 0 {
+                    stack.pop();
+                }
             }
             prev_out = out.min(texp);
         }
     }
-    credits
+}
+
+/// Reusable buffers for [`attribute_upstream_with`]: one per worker thread
+/// keeps the §4.2 inner loop allocation-free across victims.
+#[derive(Debug, Default)]
+pub struct UpstreamScratch {
+    walk: Vec<Nanos>,
+    credits: Vec<Nanos>,
+    stack: Vec<usize>,
 }
 
 /// Groups the PreSet packets by upstream path and attributes `Si` across
@@ -79,9 +108,30 @@ pub fn attribute_upstream(
     victim_nf: NfId,
     peak_rate_pps: f64,
 ) -> Vec<UpstreamShare> {
+    attribute_upstream_with(
+        recon,
+        timeline,
+        preset,
+        victim_nf,
+        peak_rate_pps,
+        &mut UpstreamScratch::default(),
+    )
+}
+
+/// [`attribute_upstream`] with caller-owned scratch buffers (one per worker
+/// thread), so diagnosing many victims allocates per distinct path group,
+/// not per packet.
+pub fn attribute_upstream_with(
+    recon: &Reconstruction,
+    timeline: &NfTimeline,
+    preset: &Range<usize>,
+    victim_nf: NfId,
+    peak_rate_pps: f64,
+    scratch: &mut UpstreamScratch,
+) -> Vec<UpstreamShare> {
     // Group PreSet packets by their path prefix up to (excluding) victim_nf.
-    // Key: the node sequence; value: (emission/send ts per node position,
-    // packet count).
+    // Keyed by the interned path id from reconstruction, so per packet the
+    // group lookup hashes one u32 instead of cloning a node sequence.
     struct Group {
         nodes: Vec<NodeId>,
         /// Per node position: (min departure ts, max departure ts).
@@ -92,7 +142,7 @@ pub fn attribute_upstream(
         arrival_span: Vec<(Nanos, Nanos)>,
         packets: usize,
     }
-    let mut groups: HashMap<Vec<NodeId>, Group> = HashMap::new();
+    let mut groups: HashMap<u32, Group> = HashMap::new();
     let mut total_packets = 0usize;
 
     // Wild-run queuing periods at a near-saturated NF can hold 10^5+
@@ -109,32 +159,32 @@ pub fn attribute_upstream(
         let tr = &recon.traces[a.trace];
         // Hops strictly before the victim hop.
         let victim_hop = a.hop;
-        let mut nodes: Vec<NodeId> = vec![NodeId::Source];
-        let mut departures: Vec<Nanos> = vec![tr.emitted_at];
-        let mut arrivals: Vec<Nanos> = vec![tr.emitted_at];
-        for h in &tr.hops[..victim_hop] {
-            nodes.push(NodeId::Nf(h.nf));
-            departures.push(h.sent_ts.unwrap_or(h.read_ts));
-            arrivals.push(h.arrival_ts);
-        }
+        let path_id = recon.hop_path_ids[a.trace][victim_hop];
         debug_assert!(
             tr.hops.get(victim_hop).is_none_or(|h| h.nf == victim_nf),
             "preset arrival hop mismatch"
         );
         total_packets += 1;
-        let g = groups.entry(nodes.clone()).or_insert_with(|| Group {
-            nodes,
-            spans: vec![(Nanos::MAX, 0); departures.len()],
+        let g = groups.entry(path_id).or_insert_with(|| Group {
+            nodes: recon.paths.path(path_id),
+            spans: vec![(Nanos::MAX, 0); victim_hop + 1],
             final_span: (Nanos::MAX, 0),
-            arrival_span: vec![(Nanos::MAX, 0); departures.len()],
+            arrival_span: vec![(Nanos::MAX, 0); victim_hop + 1],
             packets: 0,
         });
         g.packets += 1;
-        for (i, &d) in departures.iter().enumerate() {
-            g.spans[i].0 = g.spans[i].0.min(d);
-            g.spans[i].1 = g.spans[i].1.max(d);
-            g.arrival_span[i].0 = g.arrival_span[i].0.min(arrivals[i]);
-            g.arrival_span[i].1 = g.arrival_span[i].1.max(arrivals[i]);
+        // Position 0 is the source (departure == arrival == emission),
+        // position i+1 the i-th upstream hop.
+        g.spans[0].0 = g.spans[0].0.min(tr.emitted_at);
+        g.spans[0].1 = g.spans[0].1.max(tr.emitted_at);
+        g.arrival_span[0].0 = g.arrival_span[0].0.min(tr.emitted_at);
+        g.arrival_span[0].1 = g.arrival_span[0].1.max(tr.emitted_at);
+        for (i, h) in tr.hops[..victim_hop].iter().enumerate() {
+            let d = h.sent_ts.unwrap_or(h.read_ts);
+            g.spans[i + 1].0 = g.spans[i + 1].0.min(d);
+            g.spans[i + 1].1 = g.spans[i + 1].1.max(d);
+            g.arrival_span[i + 1].0 = g.arrival_span[i + 1].0.min(h.arrival_ts);
+            g.arrival_span[i + 1].1 = g.arrival_span[i + 1].1.max(h.arrival_ts);
         }
         g.final_span.0 = g.final_span.0.min(a.ts);
         g.final_span.1 = g.final_span.1.max(a.ts);
@@ -156,17 +206,23 @@ pub fn attribute_upstream(
     ordered.sort_by(|a, b| a.nodes.cmp(&b.nodes));
     let mut shares: HashMap<NodeId, (f64, Nanos, Nanos)> = HashMap::new();
     for g in &ordered {
-        let timespans: Vec<Nanos> = g.spans.iter().map(|&(lo, hi)| hi - lo).collect();
         let final_ts = g.final_span.1 - g.final_span.0;
         // The victim-facing reduction includes the last wire hop: the
         // timespan as the packets *arrive* at f.
-        let mut walk = timespans.clone();
+        scratch.walk.clear();
+        scratch.walk.extend(g.spans.iter().map(|&(lo, hi)| hi - lo));
         // If the arrival spread differs from the last node's departure
         // spread, fold it in as the effective output of the last node.
-        if let Some(last) = walk.last_mut() {
+        if let Some(last) = scratch.walk.last_mut() {
             *last = (*last).min(final_ts.max(1));
         }
-        let credits = credit_walk(texp, &walk);
+        credit_walk_into(
+            texp,
+            &scratch.walk,
+            &mut scratch.credits,
+            &mut scratch.stack,
+        );
+        let credits = &scratch.credits;
         let denom = texp.saturating_sub(final_ts.min(texp)) as f64;
         let path_weight = g.packets as f64 / total_packets as f64;
         if denom <= 0.0 {
@@ -277,6 +333,63 @@ mod tests {
     #[test]
     fn credit_walk_empty() {
         assert!(credit_walk(100, &[]).is_empty());
+    }
+
+    #[test]
+    fn credit_walk_into_reuses_buffers_across_walks() {
+        // Dirty, over-sized buffers from a previous (longer) walk must not
+        // leak into the next result.
+        let mut credits = vec![7; 8];
+        let mut stack = vec![5, 6, 7];
+        credit_walk_into(1000, &[900, 300, 500, 100], &mut credits, &mut stack);
+        assert_eq!(credits, vec![100, 400, 0, 400]);
+        credit_walk_into(500, &[800, 900, 700], &mut credits, &mut stack);
+        assert_eq!(credits, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn credit_walk_into_matches_quadratic_reference() {
+        // The squeeze-stack cancellation must be observationally identical
+        // to the original backward scan over all earlier indices.
+        fn reference(texp: Nanos, timespans: &[Nanos]) -> Vec<Nanos> {
+            let mut credits: Vec<Nanos> = vec![0; timespans.len()];
+            let mut prev_out = texp;
+            for (i, &out) in timespans.iter().enumerate() {
+                if out < prev_out {
+                    credits[i] = prev_out - out;
+                    prev_out = out;
+                } else {
+                    let mut excess = out - prev_out;
+                    for j in (0..i).rev() {
+                        if excess == 0 {
+                            break;
+                        }
+                        let cancel = excess.min(credits[j]);
+                        credits[j] -= cancel;
+                        excess -= cancel;
+                    }
+                    prev_out = out.min(texp);
+                }
+            }
+            credits
+        }
+        let mut state = 0xfeed_beef_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..200 {
+            let len = (next() % 12) as usize;
+            let texp = next() % 2000 + 1;
+            let spans: Vec<Nanos> = (0..len).map(|_| next() % 2500).collect();
+            assert_eq!(
+                credit_walk(texp, &spans),
+                reference(texp, &spans),
+                "texp {texp}, spans {spans:?}"
+            );
+        }
     }
 
     mod upstream {

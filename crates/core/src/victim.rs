@@ -149,13 +149,14 @@ pub fn find_victims_with(
             if lats.is_empty() {
                 Nanos::MAX
             } else {
-                lats.sort_unstable();
                 // Nearest-rank: the smallest latency with at least ⌈q·N⌉
                 // samples at or below it. Rounding instead of taking the
                 // ceiling picks a below-quantile latency on small runs and
-                // inflates the victim set.
+                // inflates the victim set. Only the rank value is used, so
+                // an O(N) selection replaces the full sort.
                 let rank = ((lats.len() as f64) * q.clamp(0.0, 1.0)).ceil() as usize;
-                lats[rank.saturating_sub(1).min(lats.len() - 1)]
+                let idx = rank.saturating_sub(1).min(lats.len() - 1);
+                *lats.select_nth_unstable(idx).1
             }
         }
     };
@@ -281,9 +282,12 @@ mod tests {
 
     fn recon_with(traces: Vec<ReconstructedTrace>) -> Reconstruction {
         // Build a Reconstruction by hand via the public fields.
+        let (paths, hop_path_ids) = msc_trace::PathTrie::index(&traces);
         Reconstruction {
             traces,
             report: Default::default(),
+            paths,
+            hop_path_ids,
             streams: msc_trace::EdgeStreams::build(
                 &{
                     let mut b = nf_types::Topology::builder();

@@ -106,6 +106,111 @@ pub struct ReconstructionConfig {
     pub threads: usize,
 }
 
+/// Interned upstream-path prefixes, shared by every trace.
+///
+/// The propagation analysis (§4.2) groups PreSet packets by the node
+/// sequence they traversed to reach the victim NF. Paths through a DAG are
+/// few but packets are many, so the sequences are interned once here as a
+/// trie: id `ROOT` is `[Source]`, and every other id appends one node to its
+/// parent's path. A path is then a single `u32` — cheap to store per hop,
+/// cheap to hash as a group key, and expandable back to the node list when a
+/// group actually needs it.
+#[derive(Debug)]
+pub struct PathTrie {
+    /// `nodes[id] = (parent, last node)`; the root is its own parent.
+    nodes: Vec<(u32, NodeId)>,
+    children: HashMap<(u32, NodeId), u32>,
+}
+
+/// The trie id of the bare `[Source]` path.
+pub const PATH_ROOT: u32 = 0;
+
+impl PathTrie {
+    /// A trie holding only the root `[Source]` path.
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![(PATH_ROOT, NodeId::Source)],
+            children: HashMap::new(),
+        }
+    }
+
+    /// The id of `parent`'s path extended by `node`, interning it if new.
+    pub fn child(&mut self, parent: u32, node: NodeId) -> u32 {
+        if let Some(&id) = self.children.get(&(parent, node)) {
+            return id;
+        }
+        let id = u32::try_from(self.nodes.len()).expect("fewer than 2^32 distinct paths");
+        self.nodes.push((parent, node));
+        self.children.insert((parent, node), id);
+        id
+    }
+
+    /// Number of nodes on the path `id` (the root has length 1).
+    pub fn path_len(&self, id: u32) -> usize {
+        let mut n = 1;
+        let mut cur = id;
+        while cur != PATH_ROOT {
+            cur = self.nodes[cur as usize].0;
+            n += 1;
+        }
+        n
+    }
+
+    /// The full node sequence of path `id`, root first.
+    pub fn path(&self, id: u32) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(self.path_len(id));
+        let mut cur = id;
+        loop {
+            v.push(self.nodes[cur as usize].1);
+            if cur == PATH_ROOT {
+                break;
+            }
+            cur = self.nodes[cur as usize].0;
+        }
+        v.reverse();
+        v
+    }
+
+    /// Number of interned paths (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Never true: the root always exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Interns every hop-prefix path of `traces`. Returns the trie and, per
+    /// trace, per hop, the id of the node sequence *strictly before* that
+    /// hop (`[Source, hops[0].nf, .., hops[h-1].nf]`) — exactly the group
+    /// key the §4.2 timespan analysis needs for a victim at hop `h`.
+    pub fn index(traces: &[ReconstructedTrace]) -> (PathTrie, Vec<Vec<u32>>) {
+        let mut trie = PathTrie::new();
+        let hop_path_ids = traces
+            .iter()
+            .map(|tr| {
+                let mut cur = PATH_ROOT;
+                tr.hops
+                    .iter()
+                    .map(|h| {
+                        let before = cur;
+                        cur = trie.child(cur, NodeId::Nf(h.nf));
+                        before
+                    })
+                    .collect()
+            })
+            .collect();
+        (trie, hop_path_ids)
+    }
+}
+
+impl Default for PathTrie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// The full reconstruction: traces plus indexes for the diagnosis layer.
 #[derive(Debug)]
 pub struct Reconstruction {
@@ -117,6 +222,12 @@ pub struct Reconstruction {
     pub streams: EdgeStreams,
     /// For every NF: rx flat index → (trace index, hop index).
     pub rx_to_trace: Vec<Vec<Option<(usize, usize)>>>,
+    /// Interned upstream-path prefixes (see [`PathTrie`]).
+    pub paths: PathTrie,
+    /// Per trace, per hop: the interned id of the path prefix strictly
+    /// before that hop. `paths.path(hop_path_ids[t][h])` is the node
+    /// sequence `[Source, ..]` the packet took to arrive at hop `h`.
+    pub hop_path_ids: Vec<Vec<u32>>,
 }
 
 impl Reconstruction {
@@ -262,11 +373,14 @@ pub fn reconstruct(
         traces.push(trace);
     }
 
+    let (paths, hop_path_ids) = PathTrie::index(&traces);
     Reconstruction {
         traces,
         report,
         streams,
         rx_to_trace,
+        paths,
+        hop_path_ids,
     }
 }
 
@@ -374,6 +488,42 @@ mod tests {
         };
         assert_eq!(r.trace_of(pref), Some((0, 1)));
         assert_eq!(r.flow_of(pref), Some(r.traces[0].flow));
+    }
+
+    #[test]
+    fn path_trie_interns_hop_prefixes() {
+        let t = chain();
+        let mut c = Collector::new(&t, CollectorConfig::default());
+        let m = meta(1, 1000);
+        c.record_source(100, &m);
+        c.record_rx(NfId(0), 150, &[m]);
+        c.record_tx(NfId(0), 180, Some(NfId(1)), &[m]);
+        c.record_rx(NfId(1), 200, &[m]);
+        c.record_tx(NfId(1), 250, None, &[m]);
+        let r = reconstruct(&t, &c.into_bundle(), &ReconstructionConfig::default());
+        // Hop 0 (at the NAT) was reached via [Source]; hop 1 (at the VPN)
+        // via [Source, nat1].
+        assert_eq!(r.hop_path_ids[0].len(), 2);
+        assert_eq!(r.hop_path_ids[0][0], PATH_ROOT);
+        assert_eq!(r.paths.path(r.hop_path_ids[0][0]), vec![NodeId::Source]);
+        assert_eq!(
+            r.paths.path(r.hop_path_ids[0][1]),
+            vec![NodeId::Source, NodeId::Nf(NfId(0))]
+        );
+        // A second packet down the same chain shares the interned ids.
+        let mut c2 = Collector::new(&t, CollectorConfig::default());
+        for (i, mm) in [meta(1, 1000), meta(2, 1001)].iter().enumerate() {
+            c2.record_source(100 + i as u64, mm);
+        }
+        let ms = [meta(1, 1000), meta(2, 1001)];
+        c2.record_rx(NfId(0), 150, &ms);
+        c2.record_tx(NfId(0), 180, Some(NfId(1)), &ms);
+        c2.record_rx(NfId(1), 200, &ms);
+        c2.record_tx(NfId(1), 250, None, &ms);
+        let r2 = reconstruct(&t, &c2.into_bundle(), &ReconstructionConfig::default());
+        assert_eq!(r2.hop_path_ids[0], r2.hop_path_ids[1]);
+        // Root + one path per hop depth.
+        assert_eq!(r2.paths.len(), 3);
     }
 
     #[test]

@@ -70,8 +70,8 @@ pub use nf_types as types;
 pub mod prelude {
     pub use autofocus::{aggregate_patterns, CausalRelation, Pattern, PatternConfig};
     pub use microscope::{
-        diagnoses_to_relations, Diagnosis, DiagnosisConfig, LatencyThreshold, Microscope,
-        VictimConfig,
+        diagnoses_to_relations, CacheStats, Diagnosis, DiagnosisCache, DiagnosisConfig,
+        LatencyThreshold, Microscope, VictimConfig,
     };
     pub use msc_collector::{Collector, CollectorConfig, TraceBundle};
     pub use msc_trace::{reconstruct, Reconstruction, ReconstructionConfig, Timelines};
