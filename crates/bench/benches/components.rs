@@ -7,13 +7,17 @@
 //! * `simulator/*` — DES throughput (packets simulated per second).
 //! * `traffic/*` — workload synthesis rate.
 //! * `matching/*` — cross-NF IPID matching speed.
+//! * `reconstruct/*` — offline trace reconstruction, full and per stage.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use msc_bench::{fixture, packets};
 use msc_collector::{
     decode_nf_log, encode_nf_log, Collector, CollectorConfig, PacketMeta, SpscRing,
 };
-use msc_trace::{match_downstream, EdgeStreams, MatchConfig};
+use msc_trace::{
+    assemble, match_all, match_downstream, reconstruct, EdgeStreams, MatchConfig, PathTrie,
+    ReconstructionConfig,
+};
 use nf_sim::{paper_nf_configs, SimConfig, Simulation};
 use nf_types::{paper_topology, FiveTuple, NfId, Proto};
 
@@ -130,6 +134,48 @@ fn bench_matching(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_reconstruct(c: &mut Criterion) {
+    // The full offline reconstruction plus its individual stages, so a
+    // regression in any one stage shows up in isolation: edge-stream
+    // building (counting-sort IPID index), per-NF matching, trace assembly
+    // into the hop arena, and the PathTrie index over the finished arena.
+    let fx = fixture(1_600_000.0, 10, 42);
+    let cfg = ReconstructionConfig {
+        threads: 1,
+        ..Default::default()
+    };
+    let n = fx.recon.traces.len() as u64;
+
+    let mut g = c.benchmark_group("reconstruct");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("full_1thread", |b| {
+        b.iter(|| reconstruct(&fx.topology, &fx.out.bundle, &cfg));
+    });
+    g.bench_function("streams_build", |b| {
+        b.iter(|| EdgeStreams::build(&fx.topology, &fx.out.bundle));
+    });
+    let streams = EdgeStreams::build(&fx.topology, &fx.out.bundle);
+    g.bench_function("match_all_1thread", |b| {
+        b.iter(|| match_all(&streams, &fx.topology, &cfg));
+    });
+    let matches = match_all(&streams, &fx.topology, &cfg);
+    g.bench_function("assemble", |b| {
+        // `assemble` consumes the streams, so each iteration gets a fresh
+        // copy from the setup closure (its cost is excluded from the
+        // measurement by `iter_batched`).
+        b.iter_batched(
+            || EdgeStreams::build(&fx.topology, &fx.out.bundle),
+            |s| assemble(&fx.topology, &fx.out.bundle, s, &matches),
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("path_trie_index", |b| {
+        b.iter(|| PathTrie::index(&fx.recon.traces, &fx.recon.hops));
+    });
+    g.finish();
+}
+
 fn bench_diagnosis_components(c: &mut Criterion) {
     use microscope::credit_walk_into;
 
@@ -199,6 +245,7 @@ criterion_group!(
     bench_simulator,
     bench_traffic,
     bench_matching,
+    bench_reconstruct,
     bench_diagnosis_components
 );
 criterion_main!(benches);

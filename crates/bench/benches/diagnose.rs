@@ -19,11 +19,19 @@
 //! stays comparable across PRs.
 
 use microscope::{CacheStats, Diagnosis, DiagnosisConfig, LatencyThreshold, Microscope};
-use msc_trace::{reconstruct, Reconstruction, ReconstructionConfig, Timelines};
+use msc_trace::{
+    assemble, match_all, reconstruct, EdgeStreams, Reconstruction, ReconstructionConfig, Timelines,
+};
 use nf_sim::{paper_nf_configs, Fault, SimConfig, SimOutput, Simulation};
 use nf_traffic::{CaidaLike, CaidaLikeConfig};
 use nf_types::{paper_topology, Topology, MILLIS};
 use std::time::Instant;
+
+/// Sequential reconstruction wall time recorded before the flat-index /
+/// hop-arena rewrite (same scenario, same machine class). Kept as a
+/// constant so the trajectory in `results/BENCH_diagnose.json` stays
+/// comparable now that the old implementation is gone.
+const BASELINE_RECONSTRUCT_MS: f64 = 454.019;
 
 struct Scenario {
     topology: Topology,
@@ -106,7 +114,7 @@ fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
 fn main() {
     let measure = std::env::args().any(|a| a == "--bench");
     let (rate_pps, millis, seed, reps) = if measure {
-        (1_400_000.0, 120, 42, 3)
+        (1_400_000.0, 120, 42, 9)
     } else {
         (1_000_000.0, 10, 42, 1)
     };
@@ -160,19 +168,64 @@ fn main() {
     // The trajectory baseline: the unshared (cache-off) sequential path.
     let baseline_s = time_best(reps, || run_diagnose(&sc, &seq_recon, 1, false));
 
+    // Per-stage breakdown of the sequential reconstruction: min over reps
+    // of each stage, measured in a single staged pass so every stage sees
+    // the same inputs as the fused `reconstruct` call.
+    let cfg1 = ReconstructionConfig {
+        threads: 1,
+        ..Default::default()
+    };
+    let mut stage_s = [f64::INFINITY; 3];
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let streams = EdgeStreams::build(&sc.topology, &sc.out.bundle);
+        let t1 = Instant::now();
+        let matches = match_all(&streams, &sc.topology, &cfg1);
+        let t2 = Instant::now();
+        std::hint::black_box(assemble(&sc.topology, &sc.out.bundle, streams, &matches));
+        let t3 = Instant::now();
+        stage_s[0] = stage_s[0].min((t1 - t0).as_secs_f64());
+        stage_s[1] = stage_s[1].min((t2 - t1).as_secs_f64());
+        stage_s[2] = stage_s[2].min((t3 - t2).as_secs_f64());
+    }
+    eprintln!(
+        "reconstruct stages (1 thread): streams {:.1} ms, matching {:.1} ms, \
+         assemble {:.1} ms (pre-rewrite baseline {BASELINE_RECONSTRUCT_MS:.1} ms)",
+        stage_s[0] * 1e3,
+        stage_s[1] * 1e3,
+        stage_s[2] * 1e3
+    );
+
+    // Interleave the repetitions across thread counts (round-robin rather
+    // than per-config blocks) so a slow system phase — page cache pressure,
+    // a noisy neighbour on shared hardware — penalises every configuration
+    // equally instead of skewing whichever block it landed in.
+    let mut recon_best = vec![f64::INFINITY; thread_counts.len()];
+    let mut diag_best = vec![f64::INFINITY; thread_counts.len()];
+    let recons: Vec<Reconstruction> = thread_counts
+        .iter()
+        .map(|&t| run_reconstruct(&sc, t))
+        .collect();
+    for _ in 0..reps {
+        for (i, &t) in thread_counts.iter().enumerate() {
+            let t0 = Instant::now();
+            std::hint::black_box(run_reconstruct(&sc, t));
+            recon_best[i] = recon_best[i].min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            std::hint::black_box(run_diagnose(&sc, &recons[i], t, true));
+            diag_best[i] = diag_best[i].min(t0.elapsed().as_secs_f64());
+        }
+    }
     let mut rows = Vec::new();
-    for &t in thread_counts {
-        let recon_s = time_best(reps, || run_reconstruct(&sc, t));
-        let recon = run_reconstruct(&sc, t);
-        let diag_s = time_best(reps, || run_diagnose(&sc, &recon, t, true));
+    for (i, &t) in thread_counts.iter().enumerate() {
         eprintln!(
             "threads={t}: reconstruct {:.1} ms, diagnose {:.1} ms \
              (uncached baseline {:.1} ms)",
-            recon_s * 1e3,
-            diag_s * 1e3,
+            recon_best[i] * 1e3,
+            diag_best[i] * 1e3,
             baseline_s * 1e3
         );
-        rows.push((t, recon_s, diag_s));
+        rows.push((t, recon_best[i], diag_best[i]));
     }
 
     let base = rows[0];
@@ -196,11 +249,17 @@ fn main() {
          \"hardware\": {{\"available_parallelism\": {cpus}}},\n  \
          \"identical_output\": true,\n  \
          \"cache_hit_rate\": {:.4},\n  \"baseline_diagnose_ms\": {:.3},\n  \
+         \"baseline_reconstruct_ms\": {BASELINE_RECONSTRUCT_MS:.3},\n  \
+         \"reconstruct_stage_ms\": {{\"streams_build\": {:.3}, \"matching\": {:.3}, \
+         \"assemble\": {:.3}}},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         sc.out.bundle.source_flows.len(),
         seq_diag.len(),
         seq_stats.hit_rate(),
         baseline_s * 1e3,
+        stage_s[0] * 1e3,
+        stage_s[1] * 1e3,
+        stage_s[2] * 1e3,
         json_rows.join(",\n")
     );
 

@@ -23,6 +23,10 @@ commands:
            [--top N] [--skew] [--threads N] [--no-cache]
   skew     --topology FILE --bundle FILE
 
+--threads N: pipeline workers (0 = one per CPU, 1 = sequential; clamped to
+the available CPUs — asking for more only adds scheduling overhead). The
+output is bit-identical for any worker count.
+
 run `microscope <command>` with missing flags to see its specific errors.";
 
 /// A tiny flag parser: `--key value` pairs plus repeatable keys.
@@ -212,7 +216,9 @@ pub fn diagnose(args: &[String]) -> Result<(), String> {
     let quantile: f64 = f.num("quantile", 0.99)?;
     let top: usize = f.num("top", 10)?;
     // Worker threads for reconstruction and diagnosis: 0 = one per CPU,
-    // 1 = sequential. Output is identical either way (deterministic merge).
+    // 1 = sequential; requests above the host's available CPUs are clamped
+    // (oversubscribing only slows the pipeline down). Output is identical
+    // either way (deterministic merge).
     let threads: usize = f.num("threads", 1)?;
 
     let mut recon_cfg = ReconstructionConfig {

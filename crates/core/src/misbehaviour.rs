@@ -74,8 +74,8 @@ pub fn detect_misbehaviour(
         arrival_of_first: Nanos,
     }
     let mut batches: HashMap<(NfId, Nanos), Batch> = HashMap::new();
-    for tr in &recon.traces {
-        for h in &tr.hops {
+    for (t_idx, tr) in recon.traces.iter().enumerate() {
+        for h in recon.hops_of(t_idx) {
             let Some(sent) = h.sent_ts else { continue };
             let b = batches.entry((h.nf, h.read_ts)).or_insert(Batch {
                 sent_ts: sent,

@@ -157,11 +157,12 @@ pub fn attribute_upstream_with(
             continue;
         }
         let tr = &recon.traces[a.trace];
+        let hops = recon.hops_of(a.trace);
         // Hops strictly before the victim hop.
         let victim_hop = a.hop;
-        let path_id = recon.hop_path_ids[a.trace][victim_hop];
+        let path_id = recon.hop_path_ids_of(a.trace)[victim_hop];
         debug_assert!(
-            tr.hops.get(victim_hop).is_none_or(|h| h.nf == victim_nf),
+            hops.get(victim_hop).is_none_or(|h| h.nf == victim_nf),
             "preset arrival hop mismatch"
         );
         total_packets += 1;
@@ -179,7 +180,7 @@ pub fn attribute_upstream_with(
         g.spans[0].1 = g.spans[0].1.max(tr.emitted_at);
         g.arrival_span[0].0 = g.arrival_span[0].0.min(tr.emitted_at);
         g.arrival_span[0].1 = g.arrival_span[0].1.max(tr.emitted_at);
-        for (i, h) in tr.hops[..victim_hop].iter().enumerate() {
+        for (i, h) in hops[..victim_hop].iter().enumerate() {
             let d = h.sent_ts.unwrap_or(h.read_ts);
             g.spans[i + 1].0 = g.spans[i + 1].0.min(d);
             g.spans[i + 1].1 = g.spans[i + 1].1.max(d);

@@ -163,17 +163,18 @@ pub fn find_victims_with(
 
     // Per-NF delay statistics over all hops. Delays saturate at zero:
     // residual skew on corrected multi-server bundles can leave a send
-    // timestamp slightly before the arrival.
+    // timestamp slightly before the arrival. The hops of a trace range are
+    // contiguous in the shared arena, so shards stream flat memory.
     let max_nf = recon
-        .traces
+        .hops
         .iter()
-        .flat_map(|t| t.hops.iter().map(|h| h.nf.0))
+        .map(|h| h.nf.0)
         .max()
         .map_or(0, |m| m as usize + 1);
     let shard_stats: Vec<Vec<DelayStats>> = nf_types::par_map(threads, &chunks, |_, r| {
         let mut stats = vec![DelayStats::default(); max_nf];
-        for t in &recon.traces[r.clone()] {
-            for h in &t.hops {
+        for t in r.clone() {
+            for h in recon.hops_of(t) {
                 if let Some(sent) = h.sent_ts {
                     stats[h.nf.0 as usize].push(sent.saturating_sub(h.arrival_ts));
                 }
@@ -190,15 +191,15 @@ pub fn find_victims_with(
 
     let mut victims: Vec<Victim> = nf_types::par_map(threads, &chunks, |_, r| {
         let mut out = Vec::new();
-        for (off, tr) in recon.traces[r.clone()].iter().enumerate() {
-            let t_idx = r.start + off;
+        for t_idx in r.clone() {
+            let tr = &recon.traces[t_idx];
             match tr.outcome {
                 TraceOutcome::Delivered(_) => {
                     let Some(lat) = tr.latency() else { continue };
                     if lat < threshold {
                         continue;
                     }
-                    for (h_idx, h) in tr.hops.iter().enumerate() {
+                    for (h_idx, h) in recon.hops_of(t_idx).iter().enumerate() {
                         let Some(sent) = h.sent_ts else { continue };
                         let s = &stats[h.nf.0 as usize];
                         let delay = sent.saturating_sub(h.arrival_ts) as f64;
@@ -218,7 +219,7 @@ pub fn find_victims_with(
                     out.push(Victim {
                         trace: t_idx,
                         nf,
-                        hop: tr.hops.len(),
+                        hop: tr.hop_count(),
                         arrival_ts: at,
                         observed_ts: at,
                         kind: VictimKind::Drop,
@@ -254,7 +255,15 @@ mod tests {
     use super::*;
     use msc_trace::{ReconstructedTrace, TraceHop};
 
-    fn trace(lat_per_hop: &[(u16, Nanos, Nanos)], delivered: bool) -> ReconstructedTrace {
+    /// One hand-built trace before arena flattening: its own hop list plus
+    /// the trace-level fields `recon_with` needs.
+    struct TestTrace {
+        hops: Vec<TraceHop>,
+        emitted_at: Nanos,
+        outcome: TraceOutcome,
+    }
+
+    fn trace(lat_per_hop: &[(u16, Nanos, Nanos)], delivered: bool) -> TestTrace {
         // (nf, arrival, sent) triples.
         let hops: Vec<TraceHop> = lat_per_hop
             .iter()
@@ -268,10 +277,9 @@ mod tests {
             .collect();
         let emitted = lat_per_hop.first().map_or(0, |h| h.1);
         let last = hops.last().and_then(|h| h.sent_ts).unwrap_or(emitted);
-        ReconstructedTrace {
-            flow: nf_types::FiveTuple::new(1, 2, 3, 4, nf_types::Proto::TCP),
-            emitted_at: emitted,
+        TestTrace {
             hops,
+            emitted_at: emitted,
             outcome: if delivered {
                 TraceOutcome::Delivered(last)
             } else {
@@ -280,11 +288,25 @@ mod tests {
         }
     }
 
-    fn recon_with(traces: Vec<ReconstructedTrace>) -> Reconstruction {
-        // Build a Reconstruction by hand via the public fields.
-        let (paths, hop_path_ids) = msc_trace::PathTrie::index(&traces);
+    fn recon_with(tts: Vec<TestTrace>) -> Reconstruction {
+        // Build a Reconstruction by hand via the public fields, flattening
+        // the per-trace hop lists into the shared arena.
+        let mut hops: Vec<TraceHop> = Vec::new();
+        let mut traces: Vec<ReconstructedTrace> = Vec::new();
+        for tt in tts {
+            let start = hops.len() as u32;
+            hops.extend(tt.hops);
+            traces.push(ReconstructedTrace {
+                flow: nf_types::FiveTuple::new(1, 2, 3, 4, nf_types::Proto::TCP),
+                emitted_at: tt.emitted_at,
+                hops: start..hops.len() as u32,
+                outcome: tt.outcome,
+            });
+        }
+        let (paths, hop_path_ids) = msc_trace::PathTrie::index(&traces, &hops);
         Reconstruction {
             traces,
+            hops,
             report: Default::default(),
             paths,
             hop_path_ids,
@@ -312,7 +334,7 @@ mod tests {
     #[test]
     fn tail_latency_victims_found_at_abnormal_hop() {
         // 99 fast packets (1 µs per hop) and 1 slow one (1 ms at nf1).
-        let mut traces: Vec<ReconstructedTrace> = (0..99)
+        let mut traces: Vec<TestTrace> = (0..99)
             .map(|i| {
                 let t0 = i * 10_000;
                 trace(&[(0, t0, t0 + 1_000), (1, t0 + 1_000, t0 + 2_000)], true)
@@ -374,7 +396,7 @@ mod tests {
     #[test]
     fn quantile_threshold_uses_nearest_rank_ceil() {
         // 10 traces with distinct single-hop latencies 1 µs .. 10 µs.
-        let traces: Vec<ReconstructedTrace> = (0..10u64)
+        let traces: Vec<TestTrace> = (0..10u64)
             .map(|i| {
                 let t0 = i * 100_000;
                 trace(&[(0, t0, t0 + 1_000 * (i + 1))], true)
@@ -413,7 +435,7 @@ mod tests {
 
     #[test]
     fn sharded_selection_is_identical_to_sequential() {
-        let traces: Vec<ReconstructedTrace> = (0..57u64)
+        let traces: Vec<TestTrace> = (0..57u64)
             .map(|i| {
                 let t0 = i * 100_000;
                 // A mix of two NFs and a few drops.

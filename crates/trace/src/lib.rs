@@ -30,8 +30,8 @@ pub mod timeline;
 
 pub use matching::{match_downstream, EdgeMatch, MatchConfig, MatchOutcome, MatchStats};
 pub use reconstruct::{
-    reconstruct, PathTrie, ReconstructedTrace, Reconstruction, ReconstructionConfig,
-    ReconstructionReport, TraceHop, TraceOutcome, PATH_ROOT,
+    assemble, match_all, reconstruct, PathTrie, ReconstructedTrace, Reconstruction,
+    ReconstructionConfig, ReconstructionReport, RxTraceRef, TraceHop, TraceOutcome, PATH_ROOT,
 };
 pub use skew::{correct_bundle, estimate_offsets, estimate_offsets_refined, SkewConfig};
 pub use streams::{EdgeStreams, PacketRef, RxBatchInfo, RxEntry, SourceEntry, TxEntry};

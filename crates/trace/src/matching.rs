@@ -22,7 +22,10 @@
 
 use crate::streams::EdgeStreams;
 use nf_types::{Ipid, Nanos, NfId, NodeId, Topology};
-use std::collections::HashMap;
+
+/// Size of the IPID value space (`Ipid` is `u16`): the per-edge index is a
+/// dense counting-sort table over all 2^16 values.
+const IPID_SPACE: usize = 1 << 16;
 
 /// What happened to the `pos`-th packet sent on an edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,60 +95,119 @@ pub struct EdgeMatch {
     /// For each rx entry of the downstream NF: the upstream node and the
     /// edge position it was matched to.
     pub rx_origin: Vec<Option<(NodeId, usize)>>,
-    /// Per upstream edge: outcome of every position.
-    pub edge_outcome: HashMap<NodeId, Vec<MatchOutcome>>,
+    /// The upstream nodes in slot order ([`Topology::upstream_nodes`] order)
+    /// — the index order of `edge_outcome`.
+    pub upstreams: Vec<NodeId>,
+    /// Per upstream slot: outcome of every edge position.
+    pub edge_outcome: Vec<Vec<MatchOutcome>>,
     /// Matching statistics.
     pub stats: MatchStats,
 }
 
+impl EdgeMatch {
+    /// The per-position outcomes of the edge from `node`, if it exists.
+    pub fn outcome(&self, node: NodeId) -> Option<&[MatchOutcome]> {
+        self.upstreams
+            .iter()
+            .position(|&u| u == node)
+            .map(|slot| self.edge_outcome[slot].as_slice())
+    }
+}
+
 /// One upstream edge stream prepared for matching.
+///
+/// Positions with the same IPID form a contiguous, position-sorted *run* in
+/// `ipid_pos` (built by a counting sort over the 16-bit IPID space), so a
+/// candidate lookup is a bounded scan / `partition_point` over a flat slice
+/// — no hashing, no per-IPID `Vec`s.
+/// Sentinel in [`EdgeStream::matched`]: position not matched to any rx.
+const UNMATCHED: u32 = u32::MAX;
+
 struct EdgeStream {
     node: NodeId,
     /// (send ts) per position.
     ts: Vec<Nanos>,
-    /// ipid -> sorted positions with that ipid.
-    by_ipid: HashMap<Ipid, Vec<usize>>,
+    /// Positions grouped by IPID: the run for IPID `i` is
+    /// `ipid_pos[run_start[i]..run_start[i + 1]]`, ascending.
+    ipid_pos: Vec<u32>,
+    /// Run boundaries. A fixed-size boxed array so `u16` IPID indexing
+    /// needs no bounds check.
+    run_start: Box<[u32; IPID_SPACE + 1]>,
+    /// Lazily-advancing per-IPID cursor: index into `ipid_pos` of the first
+    /// entry of that run not yet behind the committed `cursor`. Entries
+    /// before it are consumed for good (the edge cursor never moves back),
+    /// so each run entry is skipped at most once over the whole match.
+    ipid_cursor: Box<[u32; IPID_SPACE]>,
     /// Next unconsumed position.
     cursor: usize,
-    /// Matched rx index per position (None = skipped or unreached).
-    matched: Vec<Option<usize>>,
+    /// Matched rx index per position ([`UNMATCHED`] = skipped or unreached).
+    matched: Vec<u32>,
 }
 
 impl EdgeStream {
     fn build(streams: &EdgeStreams, node: NodeId, down: NfId) -> Self {
-        let n = streams.edge_len(node, down);
-        let mut ts = Vec::with_capacity(n);
-        let mut by_ipid: HashMap<Ipid, Vec<usize>> = HashMap::new();
-        for pos in 0..n {
-            let (t, ipid) = streams.edge_entry(node, down, pos);
-            ts.push(t);
-            by_ipid.entry(ipid).or_default().push(pos);
+        let positions = streams.edge_positions(node, down);
+        let n = positions.len();
+        u32::try_from(n).expect("edge stream fits u32 positions");
+        let mut ts: Vec<Nanos> = Vec::with_capacity(n);
+        let mut ipids: Vec<Ipid> = Vec::with_capacity(n);
+        match node {
+            NodeId::Source => {
+                for &idx in positions {
+                    let e = &streams.source[idx];
+                    ts.push(e.ts);
+                    ipids.push(e.ipid);
+                }
+            }
+            NodeId::Nf(u) => {
+                let tx = &streams.nfs[u.0 as usize].tx;
+                for &idx in positions {
+                    let e = &tx[idx];
+                    ts.push(e.ts);
+                    ipids.push(e.ipid);
+                }
+            }
         }
+        // Counting sort by IPID (stable, so runs stay position-ascending).
+        let mut run_start: Box<[u32; IPID_SPACE + 1]> = vec![0u32; IPID_SPACE + 1]
+            .into_boxed_slice()
+            .try_into()
+            .expect("exact length");
+        for &id in &ipids {
+            run_start[id as usize + 1] += 1;
+        }
+        for i in 1..=IPID_SPACE {
+            run_start[i] += run_start[i - 1];
+        }
+        let mut heads: Box<[u32; IPID_SPACE]> = run_start[..IPID_SPACE]
+            .to_vec()
+            .into_boxed_slice()
+            .try_into()
+            .expect("exact length");
+        let mut ipid_pos = vec![0u32; n];
+        for (pos, &id) in ipids.iter().enumerate() {
+            let h = &mut heads[id as usize];
+            ipid_pos[*h as usize] = pos as u32;
+            *h += 1;
+        }
+        // The scatter left `heads` at each run's end; the cursors start at
+        // the run beginnings, which `run_start` still holds.
+        let mut ipid_cursor = heads;
+        ipid_cursor.copy_from_slice(&run_start[..IPID_SPACE]);
         Self {
             node,
             ts,
-            by_ipid,
+            ipid_pos,
+            run_start,
+            ipid_cursor,
             cursor: 0,
-            matched: vec![None; n],
+            matched: vec![UNMATCHED; n],
         }
     }
 
-    /// First position `>= cursor` with `ipid`, sent at or before `read_ts`
-    /// and within the delay bound.
-    fn candidate(&self, ipid: Ipid, read_ts: Nanos, cfg: &MatchConfig) -> Option<usize> {
-        self.candidate_from(self.cursor, ipid, read_ts, cfg)
-    }
-
-    fn candidate_from(
-        &self,
-        cursor: usize,
-        ipid: Ipid,
-        read_ts: Nanos,
-        cfg: &MatchConfig,
-    ) -> Option<usize> {
-        let positions = self.by_ipid.get(&ipid)?;
-        let i = positions.partition_point(|&p| p < cursor);
-        let &pos = positions.get(i)?;
+    /// Timing-channel check on a candidate position.
+    #[inline]
+    fn in_window(&self, pos: usize, read_ts: Nanos, cfg: &MatchConfig) -> Option<usize> {
         let sent = self.ts[pos];
         if sent <= read_ts + cfg.negative_slack_ns
             && read_ts.saturating_sub(sent) <= cfg.delay_bound_ns
@@ -155,6 +217,49 @@ impl EdgeStream {
             None
         }
     }
+
+    /// First position `>= self.cursor` with `ipid`, sent at or before
+    /// `read_ts` and within the delay bound. Advances the per-IPID cursor
+    /// past consumed entries (amortized O(1) over a whole match).
+    fn candidate(&mut self, ipid: Ipid, read_ts: Nanos, cfg: &MatchConfig) -> Option<usize> {
+        let run_end = self.run_start[ipid as usize + 1];
+        let mut c = self.ipid_cursor[ipid as usize];
+        while c < run_end && (self.ipid_pos[c as usize] as usize) < self.cursor {
+            c += 1;
+        }
+        self.ipid_cursor[ipid as usize] = c;
+        if c == run_end {
+            return None;
+        }
+        self.in_window(self.ipid_pos[c as usize] as usize, read_ts, cfg)
+    }
+
+    /// Same from a speculative `cursor >= self.cursor` (lookahead): a
+    /// `partition_point` over the unconsumed tail of the IPID's run.
+    fn candidate_from(
+        &self,
+        cursor: usize,
+        ipid: Ipid,
+        read_ts: Nanos,
+        cfg: &MatchConfig,
+    ) -> Option<usize> {
+        let lo = self.ipid_cursor[ipid as usize] as usize;
+        let run = &self.ipid_pos[lo..self.run_start[ipid as usize + 1] as usize];
+        let i = run.partition_point(|&p| (p as usize) < cursor);
+        let &pos = run.get(i)?;
+        self.in_window(pos as usize, read_ts, cfg)
+    }
+}
+
+/// Reusable buffers for [`match_downstream`]: the per-rx candidate list and
+/// the speculative per-edge cursors used by lookahead. Kept across rx
+/// entries and ambiguity candidates so the hot loop never allocates.
+#[derive(Default)]
+struct MatchScratch {
+    /// (edge idx, pos) candidates for the current rx entry.
+    cands: Vec<(usize, usize)>,
+    /// Speculative per-edge cursors for one lookahead playout.
+    cursors: Vec<usize>,
 }
 
 /// Greedy alignment score used to break collisions: with the given per-edge
@@ -195,32 +300,52 @@ pub fn match_downstream(
     cfg: &MatchConfig,
 ) -> EdgeMatch {
     let rx = &streams.nfs[down.0 as usize].rx;
-    let upstreams = topology.upstream_nodes(down);
+    u32::try_from(rx.len()).expect("rx stream fits u32 indices");
+    debug_assert_eq!(streams.upstreams(down), topology.upstream_nodes(down));
+    let upstreams = streams.upstreams(down).to_vec();
     let mut edges: Vec<EdgeStream> = nf_types::par_map(cfg.threads, &upstreams, |_, &node| {
         EdgeStream::build(streams, node, down)
     });
     let mut stats = MatchStats::default();
     let mut rx_origin: Vec<Option<(NodeId, usize)>> = vec![None; rx.len()];
+    let mut scratch = MatchScratch::default();
+
+    if let [e] = edges.as_mut_slice() {
+        // Single upstream edge (most NFs of a chain): ambiguity is
+        // impossible, so skip the candidate list and lookahead machinery.
+        for (r_idx, r) in rx.iter().enumerate() {
+            match e.candidate(r.ipid, r.ts, cfg) {
+                None => stats.unmatched_rx += 1,
+                Some(pos) => {
+                    rx_origin[r_idx] = Some((e.node, pos));
+                    e.matched[pos] = r_idx as u32;
+                    e.cursor = pos + 1;
+                    stats.matched += 1;
+                }
+            }
+        }
+        return finish(upstreams, edges, rx_origin, stats);
+    }
 
     for (r_idx, r) in rx.iter().enumerate() {
         // One candidate per upstream edge at most.
-        let mut cands: Vec<(usize, usize)> = Vec::new(); // (edge idx, pos)
-        for (e_idx, e) in edges.iter().enumerate() {
+        scratch.cands.clear();
+        for (e_idx, e) in edges.iter_mut().enumerate() {
             if let Some(pos) = e.candidate(r.ipid, r.ts, cfg) {
-                cands.push((e_idx, pos));
+                scratch.cands.push((e_idx, pos));
             }
         }
-        let chosen = match cands.len() {
+        let chosen = match scratch.cands.len() {
             0 => {
                 stats.unmatched_rx += 1;
                 continue;
             }
-            1 => cands[0],
+            1 => scratch.cands[0],
             _ => {
                 stats.ambiguities += 1;
                 // Earliest send is the FIFO-plausible default...
-                cands.sort_by_key(|&(e, p)| (edges[e].ts[p], e, p));
-                let default = cands[0];
+                scratch.cands.sort_by_key(|&(e, p)| (edges[e].ts[p], e, p));
+                let default = scratch.cands[0];
                 if !cfg.use_order_channel {
                     // Ablated: no lookahead, timing only.
                     default
@@ -228,12 +353,13 @@ pub fn match_downstream(
                     // ...but let bounded lookahead overrule it (Fig. 9).
                     let mut best = default;
                     let mut best_score = None;
-                    for &(e_idx, pos) in &cands {
-                        let mut cursors: Vec<usize> = edges.iter().map(|e| e.cursor).collect();
-                        cursors[e_idx] = pos + 1;
+                    for &(e_idx, pos) in &scratch.cands {
+                        scratch.cursors.clear();
+                        scratch.cursors.extend(edges.iter().map(|e| e.cursor));
+                        scratch.cursors[e_idx] = pos + 1;
                         let s = lookahead_score(
                             &edges,
-                            &mut cursors,
+                            &mut scratch.cursors,
                             rx,
                             r_idx + 1,
                             cfg.lookahead,
@@ -253,34 +379,47 @@ pub fn match_downstream(
         };
         let (e_idx, pos) = chosen;
         rx_origin[r_idx] = Some((edges[e_idx].node, pos));
-        edges[e_idx].matched[pos] = Some(r_idx);
+        edges[e_idx].matched[pos] = r_idx as u32;
         edges[e_idx].cursor = pos + 1;
         stats.matched += 1;
     }
 
+    finish(upstreams, edges, rx_origin, stats)
+}
+
+/// The shared tail of [`match_downstream`]: classify every edge position
+/// and assemble the result.
+fn finish(
+    upstreams: Vec<NodeId>,
+    edges: Vec<EdgeStream>,
+    rx_origin: Vec<Option<(NodeId, usize)>>,
+    mut stats: MatchStats,
+) -> EdgeMatch {
     // Per-edge: positions behind the final cursor that never matched were
     // dropped (a later same-edge packet overtook them, impossible in FIFO);
-    // positions at or past the cursor are unresolved.
-    let mut edge_outcome: HashMap<NodeId, Vec<MatchOutcome>> = HashMap::new();
+    // positions at or past the cursor are unresolved. Slot order is the
+    // upstream build order, so stats accumulate exactly as before.
+    let mut edge_outcome: Vec<Vec<MatchOutcome>> = Vec::with_capacity(edges.len());
     for e in &edges {
         let outcomes: Vec<MatchOutcome> = e
             .matched
             .iter()
             .enumerate()
-            .map(|(pos, m)| match m {
-                Some(rx_idx) => MatchOutcome::Matched(*rx_idx),
-                None if pos < e.cursor => {
+            .map(|(pos, &m)| match m {
+                UNMATCHED if pos < e.cursor => {
                     stats.inferred_drops += 1;
                     MatchOutcome::InferredDrop
                 }
-                None => MatchOutcome::Unresolved,
+                UNMATCHED => MatchOutcome::Unresolved,
+                rx_idx => MatchOutcome::Matched(rx_idx as usize),
             })
             .collect();
-        edge_outcome.insert(e.node, outcomes);
+        edge_outcome.push(outcomes);
     }
 
     EdgeMatch {
         rx_origin,
+        upstreams,
         edge_outcome,
         stats,
     }
@@ -370,7 +509,7 @@ mod tests {
         // send stays unresolved (no later nat1 packet proves a drop).
         assert_eq!(m.rx_origin[0], Some((NodeId::Nf(NfId(1)), 0)));
         assert_eq!(
-            m.edge_outcome[&NodeId::Nf(NfId(0))][0],
+            m.outcome(NodeId::Nf(NfId(0))).unwrap()[0],
             MatchOutcome::Unresolved
         );
     }
@@ -384,7 +523,7 @@ mod tests {
         c.record_rx(NfId(2), 200, &[meta(1), meta(3)]);
         let s = EdgeStreams::build(&t, &c.into_bundle());
         let m = match_downstream(&s, &t, NfId(2), &MatchConfig::default());
-        let out = &m.edge_outcome[&NodeId::Nf(NfId(0))];
+        let out = m.outcome(NodeId::Nf(NfId(0))).unwrap();
         assert_eq!(out[0], MatchOutcome::Matched(0));
         assert_eq!(out[1], MatchOutcome::InferredDrop);
         assert_eq!(out[2], MatchOutcome::Matched(1));
@@ -399,7 +538,7 @@ mod tests {
         c.record_rx(NfId(2), 200, &[meta(1)]);
         let s = EdgeStreams::build(&t, &c.into_bundle());
         let m = match_downstream(&s, &t, NfId(2), &MatchConfig::default());
-        let out = &m.edge_outcome[&NodeId::Nf(NfId(0))];
+        let out = m.outcome(NodeId::Nf(NfId(0))).unwrap();
         assert_eq!(out[0], MatchOutcome::Matched(0));
         assert_eq!(out[1], MatchOutcome::Unresolved);
         assert_eq!(m.stats.inferred_drops, 0);

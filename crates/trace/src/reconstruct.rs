@@ -5,6 +5,7 @@ use crate::streams::{EdgeStreams, PacketRef};
 use msc_collector::TraceBundle;
 use nf_types::{FiveTuple, Nanos, NfId, NodeId, Topology};
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// One reconstructed hop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,19 +41,29 @@ pub enum TraceOutcome {
 
 /// One packet's reconstructed journey. Flow and emission time come from the
 /// source record; everything else from matched NF records.
+///
+/// The hops themselves live in the shared arena [`Reconstruction::hops`]:
+/// one trace is a contiguous range there, so reconstructing ~10^5 traces
+/// costs one `Vec` instead of one per trace. Use
+/// [`Reconstruction::hops_of`] to read them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReconstructedTrace {
     /// The flow (from the source's flow info).
     pub flow: FiveTuple,
     /// Source emission time.
     pub emitted_at: Nanos,
-    /// Hops in path order.
-    pub hops: Vec<TraceHop>,
+    /// This trace's hop range in the shared arena, in path order.
+    pub hops: Range<u32>,
     /// Terminal outcome.
     pub outcome: TraceOutcome,
 }
 
 impl ReconstructedTrace {
+    /// Number of hops reconstructed for this trace.
+    pub fn hop_count(&self) -> usize {
+        (self.hops.end - self.hops.start) as usize
+    }
+
     /// End-to-end latency for delivered packets. Saturates at zero:
     /// residual clock skew on multi-server bundles can leave a corrected
     /// delivery timestamp slightly before the emission.
@@ -176,31 +187,27 @@ impl PathTrie {
         self.nodes.len()
     }
 
-    /// Never true: the root always exists.
+    /// Always `false`: the trie is constructed holding the root `[Source]`
+    /// path and nothing ever removes it.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        false
     }
 
-    /// Interns every hop-prefix path of `traces`. Returns the trie and, per
-    /// trace, per hop, the id of the node sequence *strictly before* that
-    /// hop (`[Source, hops[0].nf, .., hops[h-1].nf]`) — exactly the group
-    /// key the §4.2 timespan analysis needs for a victim at hop `h`.
-    pub fn index(traces: &[ReconstructedTrace]) -> (PathTrie, Vec<Vec<u32>>) {
+    /// Interns every hop-prefix path of `traces` (whose hops live in the
+    /// arena `hops`). Returns the trie and, aligned with the arena, per hop
+    /// the id of the node sequence *strictly before* that hop
+    /// (`[Source, hops[0].nf, .., hops[h-1].nf]`) — exactly the group key
+    /// the §4.2 timespan analysis needs for a victim at hop `h`.
+    pub fn index(traces: &[ReconstructedTrace], hops: &[TraceHop]) -> (PathTrie, Vec<u32>) {
         let mut trie = PathTrie::new();
-        let hop_path_ids = traces
-            .iter()
-            .map(|tr| {
-                let mut cur = PATH_ROOT;
-                tr.hops
-                    .iter()
-                    .map(|h| {
-                        let before = cur;
-                        cur = trie.child(cur, NodeId::Nf(h.nf));
-                        before
-                    })
-                    .collect()
-            })
-            .collect();
+        let mut hop_path_ids = vec![PATH_ROOT; hops.len()];
+        for tr in traces {
+            let mut cur = PATH_ROOT;
+            for i in tr.hops.start..tr.hops.end {
+                hop_path_ids[i as usize] = cur;
+                cur = trie.child(cur, NodeId::Nf(hops[i as usize].nf));
+            }
+        }
         (trie, hop_path_ids)
     }
 }
@@ -211,29 +218,75 @@ impl Default for PathTrie {
     }
 }
 
+/// Packed back-reference from one rx entry to its `(trace, hop)` — 8 bytes
+/// instead of 24 for `Option<(usize, usize)>`, so the per-NF `rx_to_trace`
+/// arrays stay cache-resident. Hop indexes are bounded by the path length
+/// (a DAG walk, well under 2^16); trace indexes get the remaining 48 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RxTraceRef(u64);
+
+impl RxTraceRef {
+    /// The rx entry was never attributed to a trace.
+    pub const NONE: Self = Self(u64::MAX);
+    const HOP_BITS: u32 = 16;
+
+    fn new(trace: usize, hop: usize) -> Self {
+        debug_assert!(hop < (1 << Self::HOP_BITS));
+        debug_assert!((trace as u64) < (u64::MAX >> Self::HOP_BITS));
+        Self(((trace as u64) << Self::HOP_BITS) | hop as u64)
+    }
+
+    /// Unpacks to `(trace index, hop index)`; `None` when unattributed.
+    pub fn get(self) -> Option<(usize, usize)> {
+        if self == Self::NONE {
+            None
+        } else {
+            Some((
+                (self.0 >> Self::HOP_BITS) as usize,
+                (self.0 & ((1 << Self::HOP_BITS) - 1)) as usize,
+            ))
+        }
+    }
+}
+
 /// The full reconstruction: traces plus indexes for the diagnosis layer.
 #[derive(Debug)]
 pub struct Reconstruction {
     /// One trace per source emission, in emission order.
     pub traces: Vec<ReconstructedTrace>,
+    /// The shared hop arena: `traces[t].hops` is a range in here (traces
+    /// appear in emission order, so the ranges tile the arena).
+    pub hops: Vec<TraceHop>,
     /// Quality report.
     pub report: ReconstructionReport,
     /// The flattened streams (timelines are built from these).
     pub streams: EdgeStreams,
-    /// For every NF: rx flat index → (trace index, hop index).
-    pub rx_to_trace: Vec<Vec<Option<(usize, usize)>>>,
+    /// For every NF: rx flat index → packed (trace, hop) back-reference.
+    pub rx_to_trace: Vec<Vec<RxTraceRef>>,
     /// Interned upstream-path prefixes (see [`PathTrie`]).
     pub paths: PathTrie,
-    /// Per trace, per hop: the interned id of the path prefix strictly
-    /// before that hop. `paths.path(hop_path_ids[t][h])` is the node
-    /// sequence `[Source, ..]` the packet took to arrive at hop `h`.
-    pub hop_path_ids: Vec<Vec<u32>>,
+    /// Per arena hop (aligned with `hops`): the interned id of the path
+    /// prefix strictly before that hop. `paths.path(id)` is the node
+    /// sequence `[Source, ..]` the packet took to arrive there.
+    pub hop_path_ids: Vec<u32>,
 }
 
 impl Reconstruction {
+    /// The hops of trace `t`, in path order.
+    pub fn hops_of(&self, t: usize) -> &[TraceHop] {
+        let r = &self.traces[t].hops;
+        &self.hops[r.start as usize..r.end as usize]
+    }
+
+    /// The path-prefix ids of trace `t`'s hops (see `hop_path_ids`).
+    pub fn hop_path_ids_of(&self, t: usize) -> &[u32] {
+        let r = &self.traces[t].hops;
+        &self.hop_path_ids[r.start as usize..r.end as usize]
+    }
+
     /// The trace and hop a packet instance belongs to.
     pub fn trace_of(&self, pref: PacketRef) -> Option<(usize, usize)> {
-        self.rx_to_trace[pref.nf.0 as usize][pref.rx_idx]
+        self.rx_to_trace[pref.nf.0 as usize][pref.rx_idx].get()
     }
 
     /// The flow of a packet instance, if its trace was resolved.
@@ -242,23 +295,20 @@ impl Reconstruction {
     }
 }
 
-/// Runs matching for every NF and assembles per-packet traces.
-pub fn reconstruct(
+/// Stage 2 of [`reconstruct`]: matches every NF against its upstreams.
+///
+/// Independent per NF, so the fan-out is sharded into contiguous chunks
+/// ([`nf_types::chunk_ranges`], clamped to the host's CPUs — a single-CPU
+/// host runs strictly sequentially with no worker overhead); concatenating
+/// chunk results in order keeps the output bit-identical to the sequential
+/// path for any worker count. When the NF fan-out is active, the per-edge
+/// parallelism inside `match_downstream` is disabled rather than
+/// oversubscribing with nested worker pools.
+pub fn match_all(
+    streams: &EdgeStreams,
     topology: &Topology,
-    bundle: &TraceBundle,
     cfg: &ReconstructionConfig,
-) -> Reconstruction {
-    let streams = EdgeStreams::build(topology, bundle);
-    let mut report = ReconstructionReport {
-        total: streams.source.len() as u64,
-        ..Default::default()
-    };
-
-    // Match every NF against its upstreams — independent per NF, so fan
-    // out across workers; merging in NF order keeps the result identical
-    // to the sequential path. When the NF fan-out is active, the per-edge
-    // parallelism inside match_downstream is disabled rather than
-    // oversubscribing with nested worker pools.
+) -> Vec<EdgeMatch> {
     let match_cfg = if nf_types::effective_threads(cfg.threads) > 1 {
         MatchConfig {
             threads: 1,
@@ -267,74 +317,94 @@ pub fn reconstruct(
     } else {
         cfg.matching.clone()
     };
-    let nf_ids: Vec<NfId> = (0..topology.len()).map(|nf| NfId(nf as u16)).collect();
-    let matches: Vec<EdgeMatch> = nf_types::par_map(cfg.threads, &nf_ids, |_, &nf| {
-        match_downstream(&streams, topology, nf, &match_cfg)
+    let chunks = nf_types::chunk_ranges(cfg.threads, topology.len());
+    let per_chunk: Vec<Vec<EdgeMatch>> = nf_types::par_map(cfg.threads, &chunks, |_, r| {
+        r.clone()
+            .map(|nf| match_downstream(streams, topology, NfId(nf as u16), &match_cfg))
+            .collect()
     });
-    for m in &matches {
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// Stages 3+4 of [`reconstruct`]: walks every source emission through the
+/// per-NF match outcomes, assembling traces into the shared hop arena and
+/// the flat per-NF `rx_to_trace` back-references in one pass, then interns
+/// the path prefixes.
+pub fn assemble(
+    topology: &Topology,
+    bundle: &TraceBundle,
+    streams: EdgeStreams,
+    matches: &[EdgeMatch],
+) -> Reconstruction {
+    let mut report = ReconstructionReport {
+        total: streams.source.len() as u64,
+        ..Default::default()
+    };
+    for m in matches {
         report.unmatched_rx += m.stats.unmatched_rx;
         report.ambiguities += m.stats.ambiguities;
     }
 
-    // Exit flow records indexed per exit NF for validation.
-    let exit_flows: HashMap<NfId, &[msc_collector::FlowRecord]> = topology
-        .exits()
+    // Exit flow records per NF for validation (empty for non-exits).
+    let mut exit_flows: Vec<&[msc_collector::FlowRecord]> = vec![&[]; topology.len()];
+    for &e in topology.exits() {
+        exit_flows[e.0 as usize] = bundle.log(e).flows.as_slice();
+    }
+
+    let mut rx_to_trace: Vec<Vec<RxTraceRef>> = streams
+        .nfs
         .iter()
-        .map(|&e| (e, bundle.log(e).flows.as_slice()))
+        .map(|s| vec![RxTraceRef::NONE; s.rx.len()])
         .collect();
 
-    let mut rx_to_trace: Vec<Vec<Option<(usize, usize)>>> =
-        streams.nfs.iter().map(|s| vec![None; s.rx.len()]).collect();
-
+    // Every hop is a matched rx entry, so the total rx count bounds the
+    // arena exactly once (no per-trace reallocation).
+    let mut hops: Vec<TraceHop> = Vec::with_capacity(streams.nfs.iter().map(|s| s.rx.len()).sum());
     let mut traces = Vec::with_capacity(streams.source.len());
     for (src_idx, s) in streams.source.iter().enumerate() {
-        let mut trace = ReconstructedTrace {
-            flow: s.flow,
-            emitted_at: s.ts,
-            hops: Vec::new(),
-            outcome: TraceOutcome::Unresolved,
-        };
+        let hop_start = u32::try_from(hops.len()).expect("hop arena fits u32 offsets");
+        let trace_outcome;
         let mut node = NodeId::Source;
         let mut pos = streams.source_edge_pos[src_idx];
         let mut down = s.entry;
         let mut arrival = s.ts;
         loop {
             let outcome = matches[down.0 as usize]
-                .edge_outcome
-                .get(&node)
+                .outcome(node)
                 .and_then(|v| v.get(pos))
                 .copied()
                 .unwrap_or(MatchOutcome::Unresolved);
             match outcome {
                 MatchOutcome::InferredDrop => {
-                    trace.outcome = TraceOutcome::InferredDrop {
+                    trace_outcome = TraceOutcome::InferredDrop {
                         nf: down,
                         at: arrival,
                     };
                     break;
                 }
                 MatchOutcome::Unresolved => {
-                    trace.outcome = TraceOutcome::Unresolved;
+                    trace_outcome = TraceOutcome::Unresolved;
                     break;
                 }
                 MatchOutcome::Matched(rx_idx) => {
                     let nf_streams = &streams.nfs[down.0 as usize];
                     let read_ts = nf_streams.rx[rx_idx].ts;
-                    rx_to_trace[down.0 as usize][rx_idx] = Some((src_idx, trace.hops.len()));
+                    rx_to_trace[down.0 as usize][rx_idx] =
+                        RxTraceRef::new(src_idx, hops.len() - hop_start as usize);
                     if rx_idx >= nf_streams.tx.len() {
                         // Read but never sent: run ended inside this NF.
-                        trace.hops.push(TraceHop {
+                        hops.push(TraceHop {
                             nf: down,
                             arrival_ts: arrival,
                             read_ts,
                             sent_ts: None,
                             rx_idx,
                         });
-                        trace.outcome = TraceOutcome::Unresolved;
+                        trace_outcome = TraceOutcome::Unresolved;
                         break;
                     }
                     let tx = nf_streams.tx[rx_idx];
-                    trace.hops.push(TraceHop {
+                    hops.push(TraceHop {
                         nf: down,
                         arrival_ts: arrival,
                         read_ts,
@@ -343,14 +413,12 @@ pub fn reconstruct(
                     });
                     match tx.to {
                         None => {
-                            trace.outcome = TraceOutcome::Delivered(tx.ts);
+                            trace_outcome = TraceOutcome::Delivered(tx.ts);
                             // Validate against the exit flow record.
-                            if let Some(flows) = exit_flows.get(&down) {
-                                let exit_pos = streams.tx_edge_pos[down.0 as usize][rx_idx];
-                                if let Some(fr) = flows.get(exit_pos) {
-                                    if fr.flow != s.flow {
-                                        report.flow_mismatches += 1;
-                                    }
+                            let exit_pos = streams.tx_edge_pos[down.0 as usize][rx_idx];
+                            if let Some(fr) = exit_flows[down.0 as usize].get(exit_pos) {
+                                if fr.flow != s.flow {
+                                    report.flow_mismatches += 1;
                                 }
                             }
                             break;
@@ -365,23 +433,40 @@ pub fn reconstruct(
                 }
             }
         }
-        match trace.outcome {
+        match trace_outcome {
             TraceOutcome::Delivered(_) => report.delivered += 1,
             TraceOutcome::InferredDrop { .. } => report.inferred_drops += 1,
             TraceOutcome::Unresolved => report.unresolved += 1,
         }
-        traces.push(trace);
+        traces.push(ReconstructedTrace {
+            flow: s.flow,
+            emitted_at: s.ts,
+            hops: hop_start..hops.len() as u32,
+            outcome: trace_outcome,
+        });
     }
 
-    let (paths, hop_path_ids) = PathTrie::index(&traces);
+    let (paths, hop_path_ids) = PathTrie::index(&traces, &hops);
     Reconstruction {
         traces,
+        hops,
         report,
         streams,
         rx_to_trace,
         paths,
         hop_path_ids,
     }
+}
+
+/// Runs matching for every NF and assembles per-packet traces.
+pub fn reconstruct(
+    topology: &Topology,
+    bundle: &TraceBundle,
+    cfg: &ReconstructionConfig,
+) -> Reconstruction {
+    let streams = EdgeStreams::build(topology, bundle);
+    let matches = match_all(&streams, topology, cfg);
+    assemble(topology, bundle, streams, &matches)
 }
 
 #[cfg(test)]
@@ -421,12 +506,14 @@ mod tests {
         let tr = &r.traces[0];
         assert_eq!(tr.outcome, TraceOutcome::Delivered(250));
         assert_eq!(tr.latency(), Some(150));
-        assert_eq!(tr.hops.len(), 2);
-        assert_eq!(tr.hops[0].nf, NfId(0));
-        assert_eq!(tr.hops[0].arrival_ts, 100);
-        assert_eq!(tr.hops[0].read_ts, 150);
-        assert_eq!(tr.hops[0].sent_ts, Some(180));
-        assert_eq!(tr.hops[1].arrival_ts, 180);
+        let hops = r.hops_of(0);
+        assert_eq!(tr.hop_count(), 2);
+        assert_eq!(hops.len(), 2);
+        assert_eq!(hops[0].nf, NfId(0));
+        assert_eq!(hops[0].arrival_ts, 100);
+        assert_eq!(hops[0].read_ts, 150);
+        assert_eq!(hops[0].sent_ts, Some(180));
+        assert_eq!(hops[1].arrival_ts, 180);
         assert_eq!(r.report.delivered, 1);
         assert_eq!(r.report.flow_mismatches, 0);
     }
@@ -452,7 +539,7 @@ mod tests {
                 at: 180
             }
         );
-        assert_eq!(r.traces[0].hops.len(), 1, "NAT hop still reconstructed");
+        assert_eq!(r.hops_of(0).len(), 1, "NAT hop still reconstructed");
         assert_eq!(r.traces[1].outcome, TraceOutcome::Delivered(250));
         assert_eq!(r.report.inferred_drops, 1);
     }
@@ -467,8 +554,8 @@ mod tests {
         // NAT never sent it (in-flight at cutoff).
         let r = reconstruct(&t, &c.into_bundle(), &ReconstructionConfig::default());
         assert_eq!(r.traces[0].outcome, TraceOutcome::Unresolved);
-        assert_eq!(r.traces[0].hops.len(), 1);
-        assert_eq!(r.traces[0].hops[0].sent_ts, None);
+        assert_eq!(r.hops_of(0).len(), 1);
+        assert_eq!(r.hops_of(0)[0].sent_ts, None);
     }
 
     #[test]
@@ -503,11 +590,12 @@ mod tests {
         let r = reconstruct(&t, &c.into_bundle(), &ReconstructionConfig::default());
         // Hop 0 (at the NAT) was reached via [Source]; hop 1 (at the VPN)
         // via [Source, nat1].
-        assert_eq!(r.hop_path_ids[0].len(), 2);
-        assert_eq!(r.hop_path_ids[0][0], PATH_ROOT);
-        assert_eq!(r.paths.path(r.hop_path_ids[0][0]), vec![NodeId::Source]);
+        let ids = r.hop_path_ids_of(0);
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0], PATH_ROOT);
+        assert_eq!(r.paths.path(ids[0]), vec![NodeId::Source]);
         assert_eq!(
-            r.paths.path(r.hop_path_ids[0][1]),
+            r.paths.path(ids[1]),
             vec![NodeId::Source, NodeId::Nf(NfId(0))]
         );
         // A second packet down the same chain shares the interned ids.
@@ -521,9 +609,33 @@ mod tests {
         c2.record_rx(NfId(1), 200, &ms);
         c2.record_tx(NfId(1), 250, None, &ms);
         let r2 = reconstruct(&t, &c2.into_bundle(), &ReconstructionConfig::default());
-        assert_eq!(r2.hop_path_ids[0], r2.hop_path_ids[1]);
+        assert_eq!(r2.hop_path_ids_of(0), r2.hop_path_ids_of(1));
         // Root + one path per hop depth.
         assert_eq!(r2.paths.len(), 3);
+    }
+
+    #[test]
+    fn path_trie_default_matches_new_and_is_never_empty() {
+        let d = PathTrie::default();
+        let n = PathTrie::new();
+        assert_eq!(d.len(), n.len());
+        assert_eq!(d.len(), 1);
+        assert!(!d.is_empty(), "the root [Source] path always exists");
+        assert!(!n.is_empty());
+        assert_eq!(d.path(PATH_ROOT), n.path(PATH_ROOT));
+        let mut t = PathTrie::new();
+        let id = t.child(PATH_ROOT, NodeId::Nf(NfId(0)));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.path(id), vec![NodeId::Source, NodeId::Nf(NfId(0))]);
+    }
+
+    #[test]
+    fn rx_trace_ref_packs_and_unpacks() {
+        assert_eq!(RxTraceRef::NONE.get(), None);
+        for &(t, h) in &[(0usize, 0usize), (1, 15), (164_359, 12), (1 << 30, 65_535)] {
+            assert_eq!(RxTraceRef::new(t, h).get(), Some((t, h)));
+        }
     }
 
     #[test]

@@ -13,7 +13,6 @@
 
 use msc_collector::TraceBundle;
 use nf_types::{FiveTuple, Ipid, Nanos, NfId, NodeId, Topology};
-use std::collections::HashMap;
 
 /// One packet appearance in an NF's rx stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,24 +82,32 @@ pub struct NfStreams {
 }
 
 /// Flattened streams for the whole deployment, plus edge position indexes.
+///
+/// All per-edge indexes are dense: every downstream NF's upstream edges are
+/// numbered by *slot* (the position of the upstream node in
+/// [`Topology::upstream_nodes`], which is also the order
+/// [`crate::matching::EdgeMatch`] reports outcomes in), so edge lookups are
+/// array indexing instead of hashing.
 #[derive(Debug)]
 pub struct EdgeStreams {
     /// Per-NF streams, indexed by `NfId`.
     pub nfs: Vec<NfStreams>,
     /// Source emissions in time order.
     pub source: Vec<SourceEntry>,
-    /// For every edge `(upstream node, downstream NF)`: ordered indices into
-    /// the upstream's tx stream (or the source stream) of the packets sent
-    /// on that edge.
-    pub edge_positions: HashMap<(NodeId, NfId), Vec<usize>>,
-    /// Inverse of `edge_positions` for NF upstreams: `tx_edge_pos[nf][i]` is
-    /// the position of tx entry `i` within its edge stream.
+    /// Per downstream NF: its upstream nodes in [`Topology::upstream_nodes`]
+    /// order — the slot order of `edge_pos`.
+    upstreams: Vec<Vec<NodeId>>,
+    /// `edge_pos[down][slot]`: ordered indices into the upstream's tx stream
+    /// (or the source stream) of the packets sent on that edge.
+    edge_pos: Vec<Vec<Vec<usize>>>,
+    /// Inverse of `edge_pos` for NF upstreams: `tx_edge_pos[nf][i]` is the
+    /// position of tx entry `i` within its edge stream.
     pub tx_edge_pos: Vec<Vec<usize>>,
     /// Inverse for the source stream.
     pub source_edge_pos: Vec<usize>,
     /// For each exit NF: ordered indices into its tx stream of exit sends
     /// (`to == None`), aligned with the NF's flow records.
-    pub exit_positions: HashMap<NfId, Vec<usize>>,
+    exit_pos: Vec<Vec<usize>>,
 }
 
 impl EdgeStreams {
@@ -146,23 +153,44 @@ impl EdgeStreams {
             })
             .collect();
 
-        let mut edge_positions: HashMap<(NodeId, NfId), Vec<usize>> = HashMap::new();
-        let mut exit_positions: HashMap<NfId, Vec<usize>> = HashMap::new();
+        let n = topology.len();
+        let upstreams: Vec<Vec<NodeId>> = (0..n)
+            .map(|d| topology.upstream_nodes(NfId(d as u16)))
+            .collect();
+        let mut edge_pos: Vec<Vec<Vec<usize>>> = upstreams
+            .iter()
+            .map(|u| vec![Vec::new(); u.len()])
+            .collect();
+        let mut exit_pos: Vec<Vec<usize>> = vec![Vec::new(); n];
 
-        // NF -> NF edges and exits.
+        // NF -> NF edges and exits. Slot of `nf` in each target's upstream
+        // list is resolved once per NF, then each tx entry is O(1).
         let mut tx_edge_pos: Vec<Vec<usize>> = Vec::with_capacity(nfs.len());
         for (nf_idx, s) in nfs.iter().enumerate() {
-            let nf = NfId(nf_idx as u16);
+            let me = NodeId::Nf(NfId(nf_idx as u16));
+            let my_slot: Vec<Option<usize>> = upstreams
+                .iter()
+                .map(|u| u.iter().position(|&node| node == me))
+                .collect();
+            // Sends to targets outside the topology still need consistent
+            // inverse positions even though their edge stream is not kept.
+            let mut orphan_count: Vec<usize> = vec![0; n];
             let mut pos_within: Vec<usize> = Vec::with_capacity(s.tx.len());
             for (i, e) in s.tx.iter().enumerate() {
                 match e.to {
-                    Some(d) => {
-                        let v = edge_positions.entry((NodeId::Nf(nf), d)).or_default();
-                        pos_within.push(v.len());
-                        v.push(i);
-                    }
+                    Some(d) => match my_slot[d.0 as usize] {
+                        Some(slot) => {
+                            let v = &mut edge_pos[d.0 as usize][slot];
+                            pos_within.push(v.len());
+                            v.push(i);
+                        }
+                        None => {
+                            pos_within.push(orphan_count[d.0 as usize]);
+                            orphan_count[d.0 as usize] += 1;
+                        }
+                    },
                     None => {
-                        let v = exit_positions.entry(nf).or_default();
+                        let v = &mut exit_pos[nf_idx];
                         pos_within.push(v.len());
                         v.push(i);
                     }
@@ -172,9 +200,14 @@ impl EdgeStreams {
         }
 
         // Source -> entry edges.
+        let src_slot: Vec<Option<usize>> = upstreams
+            .iter()
+            .map(|u| u.iter().position(|&node| node == NodeId::Source))
+            .collect();
         let mut source_edge_pos: Vec<usize> = Vec::with_capacity(source.len());
         for (i, e) in source.iter().enumerate() {
-            let v = edge_positions.entry((NodeId::Source, e.entry)).or_default();
+            let slot = src_slot[e.entry.0 as usize].expect("entry NF has a source upstream");
+            let v = &mut edge_pos[e.entry.0 as usize][slot];
             source_edge_pos.push(v.len());
             v.push(i);
         }
@@ -182,16 +215,51 @@ impl EdgeStreams {
         Self {
             nfs,
             source,
-            edge_positions,
+            upstreams,
+            edge_pos,
             tx_edge_pos,
             source_edge_pos,
-            exit_positions,
+            exit_pos,
         }
+    }
+
+    /// The upstream nodes of `down` in slot order
+    /// ([`Topology::upstream_nodes`] order).
+    pub fn upstreams(&self, down: NfId) -> &[NodeId] {
+        &self.upstreams[down.0 as usize]
+    }
+
+    /// The slot of upstream `node` on downstream `down`, if the edge exists.
+    pub fn slot_of(&self, node: NodeId, down: NfId) -> Option<usize> {
+        self.upstreams[down.0 as usize]
+            .iter()
+            .position(|&u| u == node)
+    }
+
+    /// Ordered indices into the upstream's tx stream (or the source stream)
+    /// of the packets sent on `(node, down)`; empty if the edge does not
+    /// exist.
+    pub fn edge_positions(&self, node: NodeId, down: NfId) -> &[usize] {
+        match self.slot_of(node, down) {
+            Some(slot) => &self.edge_pos[down.0 as usize][slot],
+            None => &[],
+        }
+    }
+
+    /// Same as [`Self::edge_positions`] by upstream slot.
+    pub fn edge_positions_slot(&self, down: NfId, slot: usize) -> &[usize] {
+        &self.edge_pos[down.0 as usize][slot]
+    }
+
+    /// Ordered indices into `nf`'s tx stream of exit sends (`to == None`),
+    /// aligned with the NF's flow records.
+    pub fn exit_positions(&self, nf: NfId) -> &[usize] {
+        &self.exit_pos[nf.0 as usize]
     }
 
     /// The (ts, ipid) of the `pos`-th packet sent on `(node, down)`.
     pub fn edge_entry(&self, node: NodeId, down: NfId, pos: usize) -> (Nanos, Ipid) {
-        let idx = self.edge_positions[&(node, down)][pos];
+        let idx = self.edge_positions(node, down)[pos];
         match node {
             NodeId::Source => {
                 let e = &self.source[idx];
@@ -206,9 +274,7 @@ impl EdgeStreams {
 
     /// Number of packets sent on an edge.
     pub fn edge_len(&self, node: NodeId, down: NfId) -> usize {
-        self.edge_positions
-            .get(&(node, down))
-            .map_or(0, |v| v.len())
+        self.edge_positions(node, down).len()
     }
 }
 
@@ -272,7 +338,7 @@ mod tests {
         // Position inverse is consistent.
         for (i, e) in s.source.iter().enumerate() {
             let pos = s.source_edge_pos[i];
-            assert_eq!(s.edge_positions[&(NodeId::Source, e.entry)][pos], i);
+            assert_eq!(s.edge_positions(NodeId::Source, e.entry)[pos], i);
         }
     }
 
@@ -283,7 +349,7 @@ mod tests {
         c.record_tx(NfId(2), 500, None, &[meta(9, 1)]);
         c.record_tx(NfId(2), 600, None, &[meta(10, 2), meta(11, 3)]);
         let s = EdgeStreams::build(&t, &c.into_bundle());
-        let exits = &s.exit_positions[&NfId(2)];
+        let exits = s.exit_positions(NfId(2));
         assert_eq!(exits.len(), 3);
         assert_eq!(s.nfs[2].tx[exits[2]].ipid, 11);
     }
@@ -332,10 +398,10 @@ mod more_tests {
             let pos = s.tx_edge_pos[0][i];
             match e.to {
                 Some(d) => {
-                    assert_eq!(s.edge_positions[&(NodeId::Nf(NfId(0)), d)][pos], i);
+                    assert_eq!(s.edge_positions(NodeId::Nf(NfId(0)), d)[pos], i);
                 }
                 None => {
-                    assert_eq!(s.exit_positions[&NfId(0)][pos], i);
+                    assert_eq!(s.exit_positions(NfId(0))[pos], i);
                 }
             }
         }

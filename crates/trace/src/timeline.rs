@@ -264,7 +264,7 @@ impl Timelines {
         let n = recon.streams.nfs.len();
         let mut arrivals: Vec<Vec<Arrival>> = vec![Vec::new(); n];
         for (t_idx, tr) in recon.traces.iter().enumerate() {
-            for (h_idx, h) in tr.hops.iter().enumerate() {
+            for (h_idx, h) in recon.hops_of(t_idx).iter().enumerate() {
                 arrivals[h.nf.0 as usize].push(Arrival {
                     ts: h.arrival_ts,
                     trace: t_idx,
@@ -276,7 +276,7 @@ impl Timelines {
                 arrivals[nf.0 as usize].push(Arrival {
                     ts: at,
                     trace: t_idx,
-                    hop: tr.hops.len(),
+                    hop: tr.hop_count(),
                     kind: ArrivalKind::Dropped,
                 });
             }

@@ -49,8 +49,9 @@ fn reconstruction_matches_ground_truth_on_paper_topology() {
             (got, want) => panic!("packet {i}: reconstructed {got:?}, truth {want:?}"),
         }
         // Hop-by-hop agreement.
-        assert_eq!(tr.hops.len(), fate.hops.len(), "hop count of packet {i}");
-        for (h, g) in tr.hops.iter().zip(&fate.hops) {
+        let hops = recon.hops_of(i);
+        assert_eq!(hops.len(), fate.hops.len(), "hop count of packet {i}");
+        for (h, g) in hops.iter().zip(&fate.hops) {
             assert_eq!(h.nf, g.nf, "packet {i} hop NF");
             assert_eq!(h.read_ts, g.read_at, "packet {i} read ts");
             if let Some(sent) = h.sent_ts {
@@ -216,9 +217,10 @@ fn skew_estimation_recovers_reconstruction_on_multi_server_deployments() {
         recon.report.unmatched_rx
     );
     let mut wrong = 0;
-    for (tr, fate) in recon.traces.iter().zip(&out.fates) {
-        let path_ok = tr.hops.len() == fate.hops.len()
-            && tr.hops.iter().zip(&fate.hops).all(|(a, b)| a.nf == b.nf);
+    for (i, (tr, fate)) in recon.traces.iter().zip(&out.fates).enumerate() {
+        let hops = recon.hops_of(i);
+        let path_ok =
+            hops.len() == fate.hops.len() && hops.iter().zip(&fate.hops).all(|(a, b)| a.nf == b.nf);
         if tr.flow != fate.packet.flow || !path_ok {
             wrong += 1;
         }

@@ -1,0 +1,414 @@
+//! Randomized equivalence: the flat counting-sort matcher must behave
+//! bit-for-bit like a naive reference matcher that keeps a
+//! `HashMap<Ipid, Vec<usize>>` per upstream edge (the shape of the
+//! pre-rewrite implementation) and allocates fresh lookahead cursors per
+//! candidate.
+//!
+//! Both matchers see the same [`EdgeStreams`] and the same config, so any
+//! divergence — in `rx_origin`, per-edge outcomes, or the stats counters —
+//! is a semantics change in the dense index, not in the inputs. Scenarios
+//! cover multi-upstream merges, deliberately tiny IPID spaces (collisions
+//! on every edge), ring drops, bogus reads with no candidate, and runs
+//! truncated mid-stream.
+
+use msc_trace::{match_downstream, EdgeMatch, EdgeStreams, MatchConfig, MatchOutcome, MatchStats};
+use nf_types::{FiveTuple, Nanos, NfId, NfKind, NodeId, Proto, Topology};
+use std::collections::HashMap;
+
+/// Deterministic LCG (no external rand in tests).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference matcher: per-IPID HashMap index, allocation-happy lookahead.
+// ---------------------------------------------------------------------------
+
+struct RefEdge {
+    node: NodeId,
+    ts: Vec<Nanos>,
+    by_ipid: HashMap<u16, Vec<usize>>,
+    cursor: usize,
+    matched: Vec<Option<usize>>,
+}
+
+impl RefEdge {
+    fn build(streams: &EdgeStreams, node: NodeId, down: NfId) -> Self {
+        let positions = streams.edge_positions(node, down);
+        let mut ts = Vec::with_capacity(positions.len());
+        let mut by_ipid: HashMap<u16, Vec<usize>> = HashMap::new();
+        for (pos, &idx) in positions.iter().enumerate() {
+            let (t, ipid) = match node {
+                NodeId::Source => {
+                    let e = &streams.source[idx];
+                    (e.ts, e.ipid)
+                }
+                NodeId::Nf(u) => {
+                    let e = &streams.nfs[u.0 as usize].tx[idx];
+                    (e.ts, e.ipid)
+                }
+            };
+            ts.push(t);
+            by_ipid.entry(ipid).or_default().push(pos);
+        }
+        let n = ts.len();
+        Self {
+            node,
+            ts,
+            by_ipid,
+            cursor: 0,
+            matched: vec![None; n],
+        }
+    }
+
+    /// First position `>= cursor` with `ipid` whose send time is inside the
+    /// window (checked on that first position only, like the real matcher).
+    fn candidate(
+        &self,
+        cursor: usize,
+        ipid: u16,
+        read_ts: Nanos,
+        cfg: &MatchConfig,
+    ) -> Option<usize> {
+        let run = self.by_ipid.get(&ipid)?;
+        let i = run.partition_point(|&p| p < cursor);
+        let &pos = run.get(i)?;
+        let sent = self.ts[pos];
+        (sent <= read_ts + cfg.negative_slack_ns
+            && read_ts.saturating_sub(sent) <= cfg.delay_bound_ns)
+            .then_some(pos)
+    }
+}
+
+fn ref_lookahead_score(
+    edges: &[RefEdge],
+    mut cursors: Vec<usize>,
+    rx: &[msc_trace::RxEntry],
+    rx_from: usize,
+    depth: usize,
+    cfg: &MatchConfig,
+) -> usize {
+    let mut score = 0;
+    for r in rx.iter().skip(rx_from).take(depth) {
+        let mut best: Option<(Nanos, usize, usize)> = None;
+        for (e_idx, e) in edges.iter().enumerate() {
+            if let Some(pos) = e.candidate(cursors[e_idx], r.ipid, r.ts, cfg) {
+                let key = (e.ts[pos], e_idx, pos);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        if let Some((_, e_idx, pos)) = best {
+            score += 1;
+            cursors[e_idx] = pos + 1;
+        }
+    }
+    score
+}
+
+/// (rx_origin, edge_outcome, stats) — the three artifacts both matchers
+/// must agree on.
+type RefMatch = (
+    Vec<Option<(NodeId, usize)>>,
+    Vec<Vec<MatchOutcome>>,
+    MatchStats,
+);
+
+fn ref_match_downstream(
+    streams: &EdgeStreams,
+    topology: &Topology,
+    down: NfId,
+    cfg: &MatchConfig,
+) -> RefMatch {
+    let rx = &streams.nfs[down.0 as usize].rx;
+    let upstreams = topology.upstream_nodes(down);
+    let mut edges: Vec<RefEdge> = upstreams
+        .iter()
+        .map(|&node| RefEdge::build(streams, node, down))
+        .collect();
+    let mut stats = MatchStats::default();
+    let mut rx_origin: Vec<Option<(NodeId, usize)>> = vec![None; rx.len()];
+
+    for (r_idx, r) in rx.iter().enumerate() {
+        let mut cands: Vec<(usize, usize)> = Vec::new();
+        for (e_idx, e) in edges.iter().enumerate() {
+            if let Some(pos) = e.candidate(e.cursor, r.ipid, r.ts, cfg) {
+                cands.push((e_idx, pos));
+            }
+        }
+        let chosen = match cands.len() {
+            0 => {
+                stats.unmatched_rx += 1;
+                continue;
+            }
+            1 => cands[0],
+            _ => {
+                stats.ambiguities += 1;
+                cands.sort_by_key(|&(e, p)| (edges[e].ts[p], e, p));
+                let default = cands[0];
+                if !cfg.use_order_channel {
+                    default
+                } else {
+                    let mut best = default;
+                    let mut best_score = None;
+                    for &(e_idx, pos) in &cands {
+                        let mut cursors: Vec<usize> = edges.iter().map(|e| e.cursor).collect();
+                        cursors[e_idx] = pos + 1;
+                        let s =
+                            ref_lookahead_score(&edges, cursors, rx, r_idx + 1, cfg.lookahead, cfg);
+                        if best_score.is_none_or(|b| s > b) {
+                            best_score = Some(s);
+                            best = (e_idx, pos);
+                        }
+                    }
+                    if best != default {
+                        stats.ambiguity_flips += 1;
+                    }
+                    best
+                }
+            }
+        };
+        let (e_idx, pos) = chosen;
+        rx_origin[r_idx] = Some((edges[e_idx].node, pos));
+        edges[e_idx].matched[pos] = Some(r_idx);
+        edges[e_idx].cursor = pos + 1;
+        stats.matched += 1;
+    }
+
+    let mut edge_outcome: Vec<Vec<MatchOutcome>> = Vec::with_capacity(edges.len());
+    for e in &edges {
+        let outcomes: Vec<MatchOutcome> = e
+            .matched
+            .iter()
+            .enumerate()
+            .map(|(pos, m)| match m {
+                Some(rx_idx) => MatchOutcome::Matched(*rx_idx),
+                None if pos < e.cursor => {
+                    stats.inferred_drops += 1;
+                    MatchOutcome::InferredDrop
+                }
+                None => MatchOutcome::Unresolved,
+            })
+            .collect();
+        edge_outcome.push(outcomes);
+    }
+    (rx_origin, edge_outcome, stats)
+}
+
+// ---------------------------------------------------------------------------
+// Scenario generation.
+// ---------------------------------------------------------------------------
+
+/// `n_up` entry NFs all feeding one merge NF.
+fn merge_topology(n_up: usize) -> Topology {
+    let mut b = Topology::builder();
+    let mut ups = Vec::new();
+    for i in 0..n_up {
+        let u = b.add_nf(NfKind::Nat, format!("nat{i}"));
+        b.add_entry(u);
+        ups.push(u);
+    }
+    let down = b.add_nf(NfKind::Vpn, "vpn1");
+    for u in ups {
+        b.add_edge(u, down);
+    }
+    b.build().unwrap()
+}
+
+fn meta(ipid: u16) -> msc_collector::PacketMeta {
+    msc_collector::PacketMeta {
+        ipid,
+        flow: FiveTuple::new(1, 2, 3, 4, Proto::TCP),
+    }
+}
+
+/// Random merge scenario: each upstream sends a FIFO stream into the merge
+/// NF with a tiny IPID alphabet (collisions everywhere); the merge NF reads
+/// a random FIFO-respecting interleaving with random ring drops, sometimes
+/// truncated, plus the occasional bogus read nothing ever sent.
+fn random_merge_bundle(topo: &Topology, rng: &mut Lcg) -> msc_collector::TraceBundle {
+    let n_up = topo.len() - 1;
+    let down = NfId(n_up as u16);
+    let mut c = msc_collector::Collector::new(topo, msc_collector::CollectorConfig::default());
+
+    // Per-upstream send queues.
+    let ipid_alphabet = 3 + rng.below(6) as u16; // 3..=8 distinct IPIDs
+    let mut queues: Vec<Vec<(Nanos, u16)>> = Vec::new();
+    for u in 0..n_up {
+        let n = 5 + rng.below(40) as usize;
+        let mut ts = 50 + rng.below(200);
+        let mut q = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ipid = (rng.below(ipid_alphabet as u64)) as u16;
+            q.push((ts, ipid));
+            c.record_tx(NfId(u as u16), ts, Some(down), &[meta(ipid)]);
+            ts += 1 + rng.below(300);
+        }
+        queues.push(q);
+    }
+
+    // FIFO-respecting interleave with drops and truncation.
+    let total: usize = queues.iter().map(Vec::len).sum();
+    let keep_until = if rng.below(3) == 0 {
+        rng.below(total as u64 + 1) as usize // truncated run
+    } else {
+        total
+    };
+    let mut heads = vec![0usize; n_up];
+    let mut read_ts: Nanos = 0;
+    let mut taken = 0usize;
+    while taken < keep_until {
+        let live: Vec<usize> = (0..n_up).filter(|&u| heads[u] < queues[u].len()).collect();
+        let Some(&u) = live.get(rng.below(live.len().max(1) as u64) as usize) else {
+            break;
+        };
+        let (sent, ipid) = queues[u][heads[u]];
+        heads[u] += 1;
+        taken += 1;
+        if rng.below(8) == 0 {
+            continue; // dropped at the ring
+        }
+        read_ts = read_ts.max(sent) + 1 + rng.below(200);
+        c.record_rx(down, read_ts, &[meta(ipid)]);
+        if rng.below(24) == 0 {
+            // A read nothing ever sent (e.g. corrupted IPID): no candidate.
+            read_ts += 1;
+            c.record_rx(down, read_ts, &[meta(9999)]);
+        }
+    }
+    c.into_bundle()
+}
+
+fn assert_equivalent(
+    topo: &Topology,
+    streams: &EdgeStreams,
+    down: NfId,
+    cfg: &MatchConfig,
+    tag: &str,
+) {
+    let m: EdgeMatch = match_downstream(streams, topo, down, cfg);
+    let (rx_origin, edge_outcome, stats) = ref_match_downstream(streams, topo, down, cfg);
+    assert_eq!(m.upstreams, topo.upstream_nodes(down), "{tag}: slot order");
+    assert_eq!(m.rx_origin, rx_origin, "{tag}: rx_origin");
+    assert_eq!(m.edge_outcome, edge_outcome, "{tag}: edge_outcome");
+    assert_eq!(m.stats, stats, "{tag}: stats");
+    // The accessor must agree with the dense slot table.
+    for (slot, &u) in m.upstreams.iter().enumerate() {
+        assert_eq!(m.outcome(u), Some(m.edge_outcome[slot].as_slice()), "{tag}");
+    }
+}
+
+#[test]
+fn dense_matcher_equals_naive_reference_on_random_merges() {
+    let mut total_ambiguities = 0u64;
+    let mut total_drops = 0u64;
+    let mut total_unmatched = 0u64;
+    for seed in 0..60u64 {
+        let mut rng = Lcg(0x9e3779b97f4a7c15 ^ (seed * 0x1234567));
+        let n_up = 2 + (seed % 3) as usize; // 2..=4 upstream edges
+        let topo = merge_topology(n_up);
+        let bundle = random_merge_bundle(&topo, &mut rng);
+        let streams = EdgeStreams::build(&topo, &bundle);
+        let down = NfId(n_up as u16);
+
+        let configs = [
+            MatchConfig::default(),
+            MatchConfig {
+                lookahead: 3,
+                ..Default::default()
+            },
+            MatchConfig {
+                use_order_channel: false,
+                ..Default::default()
+            },
+            MatchConfig {
+                delay_bound_ns: 5_000,
+                negative_slack_ns: 100,
+                ..Default::default()
+            },
+        ];
+        for (i, cfg) in configs.iter().enumerate() {
+            for threads in [1usize, 2, 4] {
+                let cfg = MatchConfig {
+                    threads,
+                    ..cfg.clone()
+                };
+                assert_equivalent(
+                    &topo,
+                    &streams,
+                    down,
+                    &cfg,
+                    &format!("seed {seed} cfg {i} threads {threads}"),
+                );
+            }
+        }
+        let m = match_downstream(&streams, &topo, down, &MatchConfig::default());
+        total_ambiguities += m.stats.ambiguities;
+        total_drops += m.stats.inferred_drops;
+        total_unmatched += m.stats.unmatched_rx;
+    }
+    // The generator must actually exercise the interesting paths.
+    assert!(total_ambiguities > 100, "collisions: {total_ambiguities}");
+    assert!(total_drops > 50, "drops: {total_drops}");
+    assert!(total_unmatched > 10, "unmatched: {total_unmatched}");
+}
+
+#[test]
+fn dense_matcher_equals_naive_reference_on_source_edges() {
+    // Entry NFs match against the traffic source's edge stream; exercise it
+    // with drops and truncation over a single-entry chain.
+    for seed in 0..20u64 {
+        let mut rng = Lcg(0xabcdef ^ (seed * 0x77777));
+        let mut b = Topology::builder();
+        let fw = b.add_nf(NfKind::Firewall, "fw1");
+        b.add_entry(fw);
+        let topo = b.build().unwrap();
+        let mut c = msc_collector::Collector::new(&topo, msc_collector::CollectorConfig::default());
+
+        let n = 10 + rng.below(60) as usize;
+        let mut sends = Vec::with_capacity(n);
+        let mut ts = 10u64;
+        for _ in 0..n {
+            let ipid = rng.below(5) as u16;
+            let flow = FiveTuple::new(1, 2, 3, 4, Proto::TCP);
+            c.record_source(ts, &msc_collector::PacketMeta { ipid, flow });
+            sends.push((ts, ipid));
+            ts += 1 + rng.below(150);
+        }
+        let keep = if rng.below(2) == 0 {
+            n
+        } else {
+            rng.below(n as u64) as usize
+        };
+        let mut read_ts = 0u64;
+        for &(sent, ipid) in sends.iter().take(keep) {
+            if rng.below(7) == 0 {
+                continue;
+            }
+            read_ts = read_ts.max(sent) + 1 + rng.below(90);
+            c.record_rx(fw, read_ts, &[meta(ipid)]);
+        }
+        let bundle = c.into_bundle();
+        let streams = EdgeStreams::build(&topo, &bundle);
+        assert_equivalent(
+            &topo,
+            &streams,
+            fw,
+            &MatchConfig::default(),
+            &format!("seed {seed}"),
+        );
+    }
+}

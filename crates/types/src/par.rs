@@ -11,15 +11,19 @@
 //! Convention used across the workspace for thread counts:
 //! * `0` — auto: one worker per available CPU;
 //! * `1` — sequential (no threads spawned);
-//! * `n` — exactly `n` workers.
+//! * `n` — `n` workers, clamped to the available CPUs.
 
 /// Resolves a configured thread count (`0` = auto) to a concrete worker
-/// count, never less than 1.
+/// count, never less than 1 and never more than the host's available
+/// parallelism: extra workers on an oversubscribed host only add scheduling
+/// overhead (measured as *negative* scaling on single-CPU machines), so
+/// `--threads 4` on a 1-CPU host degrades to sequential.
 pub fn effective_threads(requested: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
     if requested == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        hw
     } else {
-        requested
+        requested.min(hw)
     }
 }
 
@@ -138,9 +142,12 @@ mod tests {
     }
 
     #[test]
-    fn effective_threads_resolves_auto() {
-        assert!(effective_threads(0) >= 1);
+    fn effective_threads_resolves_auto_and_clamps_to_host() {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(effective_threads(0), hw);
         assert_eq!(effective_threads(1), 1);
-        assert_eq!(effective_threads(6), 6);
+        assert_eq!(effective_threads(6), 6.min(hw));
+        // Requesting more workers than CPUs never oversubscribes.
+        assert_eq!(effective_threads(usize::MAX), hw);
     }
 }
