@@ -157,8 +157,7 @@ fn meet_of(items: &[SideItem], kind_of: &impl Fn(NfId) -> NfKind) -> SideAggrega
     let mut loc = LocationAgg::Exact(first.loc);
     let mut flow = first
         .flow
-        .map(|f| FlowAggregate::exact(&f))
-        .unwrap_or(FlowAggregate::ANY);
+        .map_or(FlowAggregate::ANY, |f| FlowAggregate::exact(&f));
     for i in it {
         if !loc.matches(i.loc, kind_of) {
             loc = match (loc, i.loc) {
@@ -224,15 +223,14 @@ pub fn aggregate_side(
         for i in items {
             *exact.entry((i.flow, i.loc)).or_insert(0.0) += i.weight;
         }
+        // lint: order-insensitive(`all` is a pure predicate — true/false regardless of visit order)
         if exact.len() <= 16 && exact.values().all(|&w| w >= th) {
             let mut out: Vec<(SideAggregate, f64)> = exact
                 .into_iter()
                 .map(|((flow, loc), w)| {
                     (
                         SideAggregate {
-                            flow: flow
-                                .map(|f| FlowAggregate::exact(&f))
-                                .unwrap_or(FlowAggregate::ANY),
+                            flow: flow.map_or(FlowAggregate::ANY, |f| FlowAggregate::exact(&f)),
                             loc: LocationAgg::Exact(loc),
                         },
                         w,

@@ -48,6 +48,7 @@ where
     // Bucket keys by depth so every node is processed strictly before its
     // parent (parent depth = child depth − 1).
     let mut levels: std::collections::BTreeMap<usize, Vec<K>> = std::collections::BTreeMap::new();
+    // lint: order-insensitive(keys are bucketed into the BTreeMap above and every level is sorted before use below)
     for k in weights.keys() {
         levels.entry(depth(k)).or_default().push(k.clone());
     }

@@ -20,6 +20,8 @@
 //!   12-dimensional problem tractable. Includes the adaptive port-range
 //!   merging the paper lists as a future optimisation.
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod hierarchy;
 pub mod pattern;

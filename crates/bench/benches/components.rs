@@ -57,7 +57,7 @@ fn bench_collector(c: &mut Criterion) {
     let mut g = c.benchmark_group("encode");
     g.throughput(Throughput::Elements(apps));
     g.bench_function("encode_nf_log", |b| b.iter(|| encode_nf_log(&log)));
-    let bytes = encode_nf_log(&log);
+    let bytes = encode_nf_log(&log).expect("encodable");
     g.bench_function("decode_nf_log", |b| {
         b.iter(|| decode_nf_log(&bytes).expect("decodes"))
     });
@@ -94,7 +94,7 @@ fn bench_simulator(c: &mut Criterion) {
                     pkts.clone(),
                 )
             },
-            |(sim, p)| sim.run(p),
+            |(sim, p)| sim.run(&p),
             BatchSize::LargeInput,
         );
     });

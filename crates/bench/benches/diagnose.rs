@@ -59,7 +59,7 @@ fn scenario(rate_pps: f64, millis: u64, seed: u64) -> Scenario {
         at: (millis / 2) * MILLIS,
         duration: MILLIS,
     });
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
     Scenario {
         topology,
         peak_rates,

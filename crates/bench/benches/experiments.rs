@@ -42,7 +42,7 @@ fn bench_fig11_diagnosis(c: &mut Criterion) {
         at: 8 * MILLIS,
         duration: 800 * MICROS,
     });
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
 
     let mut g = c.benchmark_group("fig11");
     g.sample_size(10);
@@ -144,7 +144,7 @@ fn bench_overhead_runs(c: &mut Criterion) {
                     );
                     (sim, gen.generate(0, 5 * MILLIS).finalize(0))
                 },
-                |(sim, p)| sim.run(p),
+                |(sim, p)| sim.run(&p),
                 BatchSize::LargeInput,
             );
         });

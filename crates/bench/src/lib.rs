@@ -6,6 +6,8 @@
 //! pipeline), pattern-aggregation runtime (§6.4), plus simulator and
 //! baseline throughput for context.
 
+#![forbid(unsafe_code)]
+
 use msc_trace::{reconstruct, Reconstruction, ReconstructionConfig, Timelines};
 use nf_sim::{paper_nf_configs, SimConfig, SimOutput, Simulation};
 use nf_traffic::{CaidaLike, CaidaLikeConfig};
@@ -39,7 +41,7 @@ pub fn fixture(rate_pps: f64, millis: u64, seed: u64) -> Fixture {
     );
     let packets = gen.generate(0, millis * nf_types::MILLIS).finalize(0);
     let sim = Simulation::new(topology.clone(), cfgs, SimConfig::default());
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
     let recon = reconstruct(&topology, &out.bundle, &ReconstructionConfig::default());
     let timelines = Timelines::build(&recon);
     Fixture {

@@ -152,7 +152,7 @@ pub fn record(args: &[String]) -> Result<(), String> {
     );
     let packets = gen.generate(0, millis * MILLIS).finalize(0);
     let n = packets.len();
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
 
     std::fs::create_dir_all(&out_dir).map_err(|e| format!("mkdir {out_dir:?}: {e}"))?;
     let topo_path = out_dir.join("topology.txt");
@@ -166,9 +166,7 @@ pub fn record(args: &[String]) -> Result<(), String> {
          wrote {} and {} ({} bytes, {:.2} B/packet-appearance)",
         topo_path.display(),
         bundle_path.display(),
-        std::fs::metadata(&bundle_path)
-            .map(|m| m.len())
-            .unwrap_or(0),
+        std::fs::metadata(&bundle_path).map_or(0, |m| m.len()),
         out.bundle.bytes_per_packet(),
     );
     Ok(())
@@ -288,12 +286,12 @@ pub fn diagnose(args: &[String]) -> Result<(), String> {
             e.1 += 1;
         }
     }
-    let mut blame: Vec<(String, (f64, usize))> = blame.into_iter().collect();
+    let mut ranked: Vec<(String, (f64, usize))> = blame.into_iter().collect();
     // Tie-break on the name: the counts come out of a HashMap, so equal
     // counts would otherwise print in per-process-random order.
-    blame.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then_with(|| a.0.cmp(&b.0)));
+    ranked.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then_with(|| a.0.cmp(&b.0)));
     println!("top culprit locations (victims where ranked #1):");
-    for (name, (score, victims)) in blame.iter().take(top) {
+    for (name, (score, victims)) in ranked.iter().take(top) {
         println!("  {name:>16}: {victims:>6} victims, blame mass {score:.1}");
     }
 

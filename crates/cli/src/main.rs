@@ -20,6 +20,8 @@
 //!     Estimate per-NF clock offsets from the records alone (§7).
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod commands;
 
 use std::process::ExitCode;

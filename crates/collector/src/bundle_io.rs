@@ -36,10 +36,13 @@ pub enum BundleIoError {
     BadMagic,
     /// Unsupported format version.
     BadVersion(u8),
-    /// An embedded NF log failed to decode.
+    /// An embedded NF log failed to encode or decode.
     Log(EncodeError),
     /// The file ended prematurely.
     Truncated,
+    /// A section has more entries (or bytes) than its u32 length field can
+    /// describe; `what` names the section.
+    SectionTooLarge { what: &'static str, len: usize },
 }
 
 impl fmt::Display for BundleIoError {
@@ -50,6 +53,12 @@ impl fmt::Display for BundleIoError {
             BundleIoError::BadVersion(v) => write!(f, "unsupported bundle version {v}"),
             BundleIoError::Log(e) => write!(f, "corrupt NF log: {e}"),
             BundleIoError::Truncated => write!(f, "truncated bundle"),
+            BundleIoError::SectionTooLarge { what, len } => {
+                write!(
+                    f,
+                    "{what} section ({len} entries/bytes) overflows its u32 length field"
+                )
+            }
         }
     }
 }
@@ -64,15 +73,18 @@ impl From<io::Error> for BundleIoError {
 
 /// Serialises a bundle to any writer.
 pub fn write_bundle<W: Write>(mut w: W, bundle: &TraceBundle) -> Result<(), BundleIoError> {
+    let sec_len = |what: &'static str, len: usize| {
+        u32::try_from(len).map_err(|_| BundleIoError::SectionTooLarge { what, len })
+    };
     w.write_all(MAGIC)?;
     w.write_all(&[VERSION])?;
-    w.write_all(&(bundle.logs.len() as u32).to_le_bytes())?;
+    w.write_all(&sec_len("NF logs", bundle.logs.len())?.to_le_bytes())?;
     for log in &bundle.logs {
-        let enc = encode_nf_log(log);
-        w.write_all(&(enc.len() as u32).to_le_bytes())?;
+        let enc = encode_nf_log(log).map_err(BundleIoError::Log)?;
+        w.write_all(&sec_len("NF log bytes", enc.len())?.to_le_bytes())?;
         w.write_all(&enc)?;
     }
-    w.write_all(&(bundle.source_flows.len() as u32).to_le_bytes())?;
+    w.write_all(&sec_len("source flows", bundle.source_flows.len())?.to_le_bytes())?;
     for f in &bundle.source_flows {
         w.write_all(&f.ts.to_le_bytes())?;
         w.write_all(&f.ipid.to_le_bytes())?;

@@ -187,7 +187,7 @@ impl TraceBundle {
     pub fn encoded_size(&self) -> usize {
         self.logs
             .iter()
-            .map(|l| encode_nf_log(l).len())
+            .map(|l| encode_nf_log(l).map_or(0, |enc| enc.len()))
             .sum::<usize>()
             + self.source_flows.len() * 17
     }
@@ -206,7 +206,7 @@ impl TraceBundle {
         } else {
             self.logs
                 .iter()
-                .map(|l| encode_nf_log(l).len())
+                .map(|l| encode_nf_log(l).map_or(0, |enc| enc.len()))
                 .sum::<usize>() as f64
                 / apps as f64
         }

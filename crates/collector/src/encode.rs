@@ -20,7 +20,7 @@ const VERSION: u8 = 1;
 /// Marker for "batch left the NF graph" in the tx target field.
 const TO_EXIT: u16 = u16::MAX;
 
-/// Errors from [`decode_nf_log`].
+/// Errors from [`encode_nf_log`] / [`decode_nf_log`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EncodeError {
     /// Input ended in the middle of a field.
@@ -29,6 +29,8 @@ pub enum EncodeError {
     BadVersion(u8),
     /// A varint ran past 10 bytes.
     BadVarint,
+    /// A batch holds more packets than the one-byte wire length can carry.
+    BatchTooLarge(usize),
 }
 
 impl fmt::Display for EncodeError {
@@ -37,6 +39,9 @@ impl fmt::Display for EncodeError {
             EncodeError::Truncated => write!(f, "truncated log"),
             EncodeError::BadVersion(v) => write!(f, "unknown log version {v}"),
             EncodeError::BadVarint => write!(f, "malformed varint"),
+            EncodeError::BatchTooLarge(n) => {
+                write!(f, "batch of {n} packets exceeds the 255-packet wire limit")
+            }
         }
     }
 }
@@ -116,13 +121,18 @@ fn get_tuple(buf: &[u8], pos: &mut usize) -> Result<FiveTuple, EncodeError> {
     ))
 }
 
-/// Encodes one NF's log. Returns the byte buffer.
-pub fn encode_nf_log(log: &NfLog) -> Vec<u8> {
+/// Encodes one NF's log. Returns the byte buffer, or
+/// [`EncodeError::BatchTooLarge`] if a batch cannot fit its one-byte wire
+/// length (the collector's `MAX_BATCH` invariant keeps real logs far below
+/// it; the check turns a corrupted log into a typed error instead of a
+/// silently truncated length byte).
+pub fn encode_nf_log(log: &NfLog) -> Result<Vec<u8>, EncodeError> {
     let mut out = Vec::with_capacity(
         8 + log.rx.iter().map(|b| 4 + 2 * b.len()).sum::<usize>()
             + log.tx.iter().map(|b| 7 + 2 * b.len()).sum::<usize>()
             + log.flows.len() * 17,
     );
+    let batch_len = |n: usize| u8::try_from(n).map_err(|_| EncodeError::BatchTooLarge(n));
     out.push(VERSION);
     put_u16(&mut out, log.nf.0);
 
@@ -131,7 +141,7 @@ pub fn encode_nf_log(log: &NfLog) -> Vec<u8> {
     for b in &log.rx {
         put_varint(&mut out, b.ts.wrapping_sub(prev_ts));
         prev_ts = b.ts;
-        out.push(b.len() as u8);
+        out.push(batch_len(b.len())?);
         for &ipid in &b.ipids {
             put_u16(&mut out, ipid);
         }
@@ -143,7 +153,7 @@ pub fn encode_nf_log(log: &NfLog) -> Vec<u8> {
         put_varint(&mut out, b.ts.wrapping_sub(prev_ts));
         prev_ts = b.ts;
         put_u16(&mut out, b.to.map_or(TO_EXIT, |n| n.0));
-        out.push(b.len() as u8);
+        out.push(batch_len(b.len())?);
         for &ipid in &b.ipids {
             put_u16(&mut out, ipid);
         }
@@ -157,7 +167,7 @@ pub fn encode_nf_log(log: &NfLog) -> Vec<u8> {
         put_u16(&mut out, f.ipid);
         put_tuple(&mut out, &f.flow);
     }
-    out
+    Ok(out)
 }
 
 /// Decodes a log produced by [`encode_nf_log`].
@@ -257,7 +267,7 @@ mod tests {
     #[test]
     fn round_trip() {
         let log = sample_log();
-        let bytes = encode_nf_log(&log);
+        let bytes = encode_nf_log(&log).unwrap();
         let back = decode_nf_log(&bytes).unwrap();
         assert_eq!(back, log);
     }
@@ -270,7 +280,21 @@ mod tests {
             tx: vec![],
             flows: vec![],
         };
-        assert_eq!(decode_nf_log(&encode_nf_log(&log)).unwrap(), log);
+        assert_eq!(decode_nf_log(&encode_nf_log(&log).unwrap()).unwrap(), log);
+    }
+
+    #[test]
+    fn oversized_batch_rejected() {
+        let log = NfLog {
+            nf: NfId(0),
+            rx: vec![RxBatch {
+                ts: 1_000,
+                ipids: (0..300u16).collect(),
+            }],
+            tx: vec![],
+            flows: vec![],
+        };
+        assert_eq!(encode_nf_log(&log), Err(EncodeError::BatchTooLarge(300)));
     }
 
     #[test]
@@ -303,7 +327,7 @@ mod tests {
             tx,
             flows: vec![],
         };
-        let bytes = encode_nf_log(&log).len();
+        let bytes = encode_nf_log(&log).unwrap().len();
         let appearances = 2 * 1_000 * MAX_BATCH; // each packet in one rx and one tx
         let per_packet = bytes as f64 / appearances as f64;
         assert!(
@@ -314,7 +338,7 @@ mod tests {
 
     #[test]
     fn truncated_input_rejected() {
-        let bytes = encode_nf_log(&sample_log());
+        let bytes = encode_nf_log(&sample_log()).unwrap();
         for cut in [0, 1, 3, bytes.len() / 2, bytes.len() - 1] {
             assert!(decode_nf_log(&bytes[..cut]).is_err(), "cut at {cut}");
         }
@@ -322,7 +346,7 @@ mod tests {
 
     #[test]
     fn bad_version_rejected() {
-        let mut bytes = encode_nf_log(&sample_log());
+        let mut bytes = encode_nf_log(&sample_log()).unwrap();
         bytes[0] = 99;
         assert_eq!(decode_nf_log(&bytes), Err(EncodeError::BadVersion(99)));
     }

@@ -30,6 +30,9 @@ pub struct SpscRing<T> {
 // SAFETY: access to each slot is handed off between producer and consumer
 // through the head/tail acquire/release protocol below.
 unsafe impl<T: Send> Sync for SpscRing<T> {}
+// SAFETY: the ring exclusively owns its slots; moving the whole ring to
+// another thread moves the buffered `T` values with it, which `T: Send`
+// permits (no thread-affine state is held).
 unsafe impl<T: Send> Send for SpscRing<T> {}
 
 impl<T> SpscRing<T> {

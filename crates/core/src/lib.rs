@@ -25,6 +25,8 @@
 //!    [`autofocus::CausalRelation`]s and aggregate into the ranked causal
 //!    patterns of §4.4 ([`report`]).
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod diagnose;
 pub mod local;

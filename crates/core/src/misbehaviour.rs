@@ -90,6 +90,7 @@ pub fn detect_misbehaviour(
     }
 
     let mut out: Vec<Misbehaviour> = Vec::new();
+    // lint: order-insensitive(every accepted batch lands in `out`, which is fully sorted by (slowdown, nf, read_ts) before returning)
     for ((nf, read_ts), b) in batches {
         let rate = peak_rates[nf.0 as usize];
         let expected = (b.size as f64 / rate * 1e9).round() as Nanos;
@@ -104,7 +105,9 @@ pub fn detect_misbehaviour(
             continue;
         }
         let mut flows: Vec<(FiveTuple, u32)> = b.flows.into_iter().collect();
-        flows.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        // Tie-break equal counts on the flow tuple: the counts come out of a
+        // HashMap, so equal-count flows would otherwise order randomly.
+        flows.sort_by_key(|&(f, n)| (std::cmp::Reverse(n), f));
         out.push(Misbehaviour {
             nf,
             read_ts,
@@ -113,7 +116,12 @@ pub fn detect_misbehaviour(
             flows,
         });
     }
-    out.sort_by(|a, b| b.slowdown().partial_cmp(&a.slowdown()).expect("finite"));
+    out.sort_by(|a, b| {
+        b.slowdown()
+            .partial_cmp(&a.slowdown())
+            .expect("finite")
+            .then_with(|| (a.nf, a.read_ts).cmp(&(b.nf, b.read_ts)))
+    });
     out
 }
 
@@ -169,7 +177,7 @@ mod tests {
             let flow = FiveTuple::new(0x0a000001, 0x14000001, sport, 80, Proto::TCP);
             packets.push(Packet::new(i, flow, 64, i * 100_000)); // 10 kpps
         }
-        let out = sim.run(packets);
+        let out = sim.run(&packets);
         let recon = reconstruct(&t, &out.bundle, &ReconstructionConfig::default());
         let timelines = Timelines::build(&recon);
         let found = detect_misbehaviour(
@@ -195,7 +203,7 @@ mod tests {
         let packets: Vec<Packet> = (0..500u64)
             .map(|i| Packet::new(i, flow, 64, i * 10_000))
             .collect();
-        let out = sim.run(packets);
+        let out = sim.run(&packets);
         let recon = reconstruct(&t, &out.bundle, &ReconstructionConfig::default());
         let timelines = Timelines::build(&recon);
         let found = detect_misbehaviour(
@@ -218,7 +226,7 @@ mod tests {
         let packets: Vec<Packet> = (0..600u64)
             .map(|i| Packet::new(i, flow, 64, i * 120))
             .collect();
-        let out = sim.run(packets);
+        let out = sim.run(&packets);
         let recon = reconstruct(&t, &out.bundle, &ReconstructionConfig::default());
         let timelines = Timelines::build(&recon);
         let found = detect_misbehaviour(

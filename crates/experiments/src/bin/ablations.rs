@@ -62,7 +62,7 @@ fn main() {
         .collect();
     let packets =
         nf_traffic::Schedule::merge(std::iter::once(background).chain(bursts)).finalize(0);
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
     let truth_drops = out.fates.iter().filter(|f| f.dropped()).count();
     println!(
         "# scenario: {} packets, {} ground-truth drops\n",
@@ -195,7 +195,7 @@ fn main() {
         args.seed ^ 0xB,
     );
     let packets = gen.generate(0, 160 * MILLIS).finalize(0);
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
     let recon = reconstruct(&topo, &out.bundle, &ReconstructionConfig::default());
     let timelines = Timelines::build(&recon);
     let rates: Vec<f64> = cfgs.iter().map(|c| c.service.peak_rate_pps()).collect();

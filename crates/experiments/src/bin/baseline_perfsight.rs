@@ -49,7 +49,7 @@ fn run(rate_pps: f64, millis: u64, seed: u64, fault: Option<Fault>) -> nf_sim::S
         },
         seed,
     );
-    sim.run(gen.generate(0, millis * MILLIS).finalize(0))
+    sim.run(&gen.generate(0, millis * MILLIS).finalize(0))
 }
 
 fn main() {

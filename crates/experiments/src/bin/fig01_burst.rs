@@ -47,7 +47,7 @@ fn main() {
             ..Default::default()
         },
     );
-    let out = sim.run(Schedule::merge([background, burst_sched]).finalize(0));
+    let out = sim.run(&Schedule::merge([background, burst_sched]).finalize(0));
 
     // (a) Mean background latency per 50 µs of arrival time.
     let bucket = 50 * MICROS;

@@ -77,7 +77,7 @@ fn main() {
         at: 500 * MICROS,
         duration: 800 * MICROS,
     });
-    let out = sim.run(Schedule::merge([background, a_sched]).finalize(0));
+    let out = sim.run(&Schedule::merge([background, a_sched]).finalize(0));
 
     let bucket = 100 * MICROS;
     let a_tp = throughput_series(&out, bucket, |f| *f == flow_a);
@@ -126,8 +126,7 @@ fn main() {
     let peak_t = out.queue_series[vpn.0 as usize]
         .iter()
         .max_by_key(|&&(_, l)| l)
-        .map(|&(t, _)| t as f64 / MILLIS as f64)
-        .unwrap_or(0.0);
+        .map_or(0.0, |&(t, _)| t as f64 / MILLIS as f64);
 
     // Flow A's worst throughput bucket after the interrupt.
     let min_a = a_tp

@@ -67,7 +67,7 @@ fn main() {
             duration: 900 * MICROS,
         });
     }
-    let out = sim.run(sched.finalize(0));
+    let out = sim.run(&sched.finalize(0));
 
     let bucket = 100 * MICROS;
     let rate_nat = input_rate_series(&out, vpn, bucket, |f| *f == nat_flow);

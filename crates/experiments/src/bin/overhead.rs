@@ -35,7 +35,7 @@ fn peak_rate(kind: NfKind, enabled: bool, millis: u64, seed: u64) -> f64 {
         seed,
     );
     let packets = gen.generate(0, millis * nf_types::MILLIS).finalize(0);
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
     out.nf_stats[0].rate_pps(out.duration)
 }
 

@@ -8,8 +8,77 @@
 //! --seed S      RNG seed
 //! --out DIR     CSV output directory (default: results)
 //! ```
+//!
+//! Parsing and CSV writing are fallible at the library layer
+//! ([`Args::try_parse_from`], [`try_write_csv`]) so failures carry typed
+//! context; the binary-facing wrappers ([`Args::parse`], [`write_csv`])
+//! surface that context on stderr and exit instead of panicking.
 
-use std::path::PathBuf;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A failure while parsing experiment arguments or writing CSV output.
+#[derive(Debug)]
+pub enum CliError {
+    /// A flag was given without its value.
+    MissingValue(String),
+    /// A flag's value failed to parse.
+    BadValue {
+        /// The flag, e.g. `--millis`.
+        flag: &'static str,
+        /// What the flag wants, e.g. "an integer".
+        want: &'static str,
+        /// What was actually given.
+        got: String,
+    },
+    /// Unrecognised argument.
+    UnknownFlag(String),
+    /// `--help` was requested; the payload is the rendered usage text.
+    Help(String),
+    /// A filesystem operation failed, tagged with the path involved.
+    Io {
+        /// What was being attempted, e.g. "create output dir".
+        what: &'static str,
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingValue(flag) => write!(f, "missing value after {flag}"),
+            CliError::BadValue { flag, want, got } => {
+                write!(f, "{flag} takes {want}, got {got:?}")
+            }
+            CliError::UnknownFlag(a) => write!(f, "unknown argument {a}"),
+            CliError::Help(usage) => write!(f, "{usage}"),
+            CliError::Io { what, path, source } => {
+                write!(f, "{what} {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn exit_with(e: &CliError) -> ! {
+    if let CliError::Help(usage) = e {
+        eprintln!("{usage}");
+        std::process::exit(0);
+    }
+    eprintln!("error: {e}");
+    std::process::exit(2);
+}
 
 /// Parsed common arguments.
 #[derive(Debug, Clone)]
@@ -25,36 +94,70 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses `std::env::args`, with per-binary defaults.
+    /// Parses `std::env::args`, with per-binary defaults. On error, prints
+    /// the typed failure and usage to stderr and exits with status 2.
     pub fn parse(default_millis: u64, default_rate_mpps: f64) -> Args {
+        match Self::try_parse_from(default_millis, default_rate_mpps, std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => exit_with(&e),
+        }
+    }
+
+    /// Fallible parsing from an arbitrary argument iterator.
+    pub fn try_parse_from<I>(
+        default_millis: u64,
+        default_rate_mpps: f64,
+        argv: I,
+    ) -> Result<Args, CliError>
+    where
+        I: IntoIterator<Item = String>,
+    {
         let mut args = Args {
             millis: default_millis,
             rate_mpps: default_rate_mpps,
             seed: 42,
             out: PathBuf::from("results"),
         };
-        let mut it = std::env::args().skip(1);
+        let mut it = argv.into_iter();
         while let Some(a) = it.next() {
-            let mut val = || {
-                it.next()
-                    .unwrap_or_else(|| panic!("missing value after {a}"))
-            };
+            let mut val =
+                |flag: &'static str| it.next().ok_or(CliError::MissingValue(flag.to_string()));
             match a.as_str() {
-                "--millis" => args.millis = val().parse().expect("--millis takes an integer"),
-                "--rate" => args.rate_mpps = val().parse().expect("--rate takes a float (Mpps)"),
-                "--seed" => args.seed = val().parse().expect("--seed takes an integer"),
-                "--out" => args.out = PathBuf::from(val()),
+                "--millis" => {
+                    let v = val("--millis")?;
+                    args.millis = v.parse().map_err(|_| CliError::BadValue {
+                        flag: "--millis",
+                        want: "an integer",
+                        got: v,
+                    })?;
+                }
+                "--rate" => {
+                    let v = val("--rate")?;
+                    args.rate_mpps = v.parse().map_err(|_| CliError::BadValue {
+                        flag: "--rate",
+                        want: "a float (Mpps)",
+                        got: v,
+                    })?;
+                }
+                "--seed" => {
+                    let v = val("--seed")?;
+                    args.seed = v.parse().map_err(|_| CliError::BadValue {
+                        flag: "--seed",
+                        want: "an integer",
+                        got: v,
+                    })?;
+                }
+                "--out" => args.out = PathBuf::from(val("--out")?),
                 "--help" | "-h" => {
-                    eprintln!(
+                    return Err(CliError::Help(format!(
                         "options: --millis N  --rate MPPS  --seed S  --out DIR\n\
                          defaults: --millis {default_millis} --rate {default_rate_mpps} --seed 42 --out results"
-                    );
-                    std::process::exit(0);
+                    )));
                 }
-                other => panic!("unknown argument {other}"),
+                other => return Err(CliError::UnknownFlag(other.to_string())),
             }
         }
-        args
+        Ok(args)
     }
 
     /// Duration in nanoseconds.
@@ -68,26 +171,58 @@ impl Args {
     }
 
     /// Ensures the output directory exists and returns the path of a CSV
-    /// file inside it.
+    /// file inside it. Exits with status 2 if the directory can't be made.
     pub fn csv_path(&self, name: &str) -> PathBuf {
-        std::fs::create_dir_all(&self.out).expect("create output dir");
-        self.out.join(name)
+        match self.try_csv_path(name) {
+            Ok(p) => p,
+            Err(e) => exit_with(&e),
+        }
+    }
+
+    /// Fallible variant of [`Args::csv_path`].
+    pub fn try_csv_path(&self, name: &str) -> Result<PathBuf, CliError> {
+        std::fs::create_dir_all(&self.out).map_err(|source| CliError::Io {
+            what: "create output dir",
+            path: self.out.clone(),
+            source,
+        })?;
+        Ok(self.out.join(name))
     }
 }
 
-/// Writes rows to a CSV file (first row = header).
-pub fn write_csv(path: &std::path::Path, header: &[&str], rows: &[Vec<String>]) {
-    use std::io::Write;
-    let mut f = std::fs::File::create(path).expect("create csv");
-    writeln!(f, "{}", header.join(",")).expect("write header");
-    for r in rows {
-        writeln!(f, "{}", r.join(",")).expect("write row");
+/// Writes rows to a CSV file (first row = header). Exits with status 2 on
+/// I/O failure, naming the path that failed.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) {
+    if let Err(e) = try_write_csv(path, header, rows) {
+        exit_with(&e);
     }
+}
+
+/// Fallible variant of [`write_csv`].
+pub fn try_write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> Result<(), CliError> {
+    use std::io::Write;
+    let io = |what: &'static str| {
+        move |source: std::io::Error| CliError::Io {
+            what,
+            path: path.to_path_buf(),
+            source,
+        }
+    };
+    let mut f = std::fs::File::create(path).map_err(io("create csv"))?;
+    writeln!(f, "{}", header.join(",")).map_err(io("write csv header"))?;
+    for r in rows {
+        writeln!(f, "{}", r.join(",")).map_err(io("write csv row"))?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| (*a).to_string()).collect()
+    }
 
     #[test]
     fn defaults_and_conversions() {
@@ -98,16 +233,57 @@ mod tests {
             out: PathBuf::from("/tmp/x"),
         };
         assert_eq!(a.duration_ns(), 500_000_000);
-        assert!((a.rate_pps() - 1_200_000.0).abs() < 1e-6);
+        assert!((a.rate_pps() - 1.2e6).abs() < 1e-3);
     }
 
     #[test]
-    fn csv_writer_round_trip() {
-        let dir = std::env::temp_dir().join("msc_cli_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let p = dir.join("t.csv");
-        write_csv(&p, &["a", "b"], &[vec!["1".into(), "2".into()]]);
-        let s = std::fs::read_to_string(&p).unwrap();
-        assert_eq!(s, "a,b\n1,2\n");
+    fn try_parse_overrides_defaults() {
+        let a = Args::try_parse_from(
+            5,
+            0.5,
+            argv(&[
+                "--millis", "20", "--rate", "1.5", "--seed", "7", "--out", "/tmp/o",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(a.millis, 20);
+        assert!((a.rate_mpps - 1.5).abs() < 1e-9);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.out, PathBuf::from("/tmp/o"));
+    }
+
+    #[test]
+    fn try_parse_reports_typed_errors() {
+        match Args::try_parse_from(5, 0.5, argv(&["--millis"])) {
+            Err(CliError::MissingValue(f)) => assert_eq!(f, "--millis"),
+            other => panic!("want MissingValue, got {other:?}"),
+        }
+        match Args::try_parse_from(5, 0.5, argv(&["--seed", "many"])) {
+            Err(CliError::BadValue { flag, got, .. }) => {
+                assert_eq!(flag, "--seed");
+                assert_eq!(got, "many");
+            }
+            other => panic!("want BadValue, got {other:?}"),
+        }
+        match Args::try_parse_from(5, 0.5, argv(&["--frobnicate"])) {
+            Err(CliError::UnknownFlag(f)) => assert_eq!(f, "--frobnicate"),
+            other => panic!("want UnknownFlag, got {other:?}"),
+        }
+        match Args::try_parse_from(5, 0.5, argv(&["-h"])) {
+            Err(CliError::Help(u)) => assert!(u.contains("--millis 5")),
+            other => panic!("want Help, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_write_csv_surfaces_io_context() {
+        let path = PathBuf::from("/nonexistent-dir-for-msc-test/x.csv");
+        match try_write_csv(&path, &["a"], &[]) {
+            Err(e @ CliError::Io { what, .. }) => {
+                assert_eq!(what, "create csv");
+                assert!(e.to_string().contains("/nonexistent-dir-for-msc-test"));
+            }
+            other => panic!("want Io error, got {other:?}"),
+        }
     }
 }

@@ -12,6 +12,8 @@
 //! the same rows/series the paper reports (plus CSV output under
 //! `results/`).
 
+#![forbid(unsafe_code)]
+
 pub mod accuracy;
 pub mod cli;
 pub mod inject;

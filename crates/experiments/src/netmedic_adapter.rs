@@ -23,7 +23,7 @@ pub fn build_history(
     assert!(window_ns > 0);
     assert_eq!(peak_rates.len(), n_nfs);
     let duration = out.duration.max(1);
-    let n_windows = (duration / window_ns + 1) as usize;
+    let n_windows = (duration / window_ns) as usize + 1;
     let n_comp = n_nfs + 1;
 
     // Raw per-window counters.
@@ -113,7 +113,7 @@ mod tests {
         let packets: Vec<Packet> = (0..3000u64)
             .map(|i| Packet::new(i, flow, 64, i * 10_000))
             .collect();
-        let out = sim.run(packets);
+        let out = sim.run(&packets);
         let hist = build_history(&out, 1, &[1e6], 5 * MILLIS);
         assert!(hist.windows() >= 6);
         // Window 2 ([10,15) ms) is the stall: output rate collapses.

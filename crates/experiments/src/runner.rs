@@ -104,7 +104,7 @@ pub fn run_spec_on(spec: &RunSpec, topology: Topology, nf_configs: Vec<NfConfig>
     for b in &spec.plan.bursts {
         sim.journal_burst(vec![b.flow], b.window());
     }
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
 
     let recon = reconstruct(&topology, &out.bundle, &ReconstructionConfig::default());
     let timelines = Timelines::build(&recon);
@@ -178,7 +178,7 @@ pub fn wild_run(duration: Nanos, rate_pps: f64, seed: u64, quantile: f64) -> Run
             t += rng.gen_range(8.0..30.0) * MILLIS as f64;
         }
     }
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
 
     let recon = reconstruct(&topology, &out.bundle, &ReconstructionConfig::default());
     let timelines = Timelines::build(&recon);

@@ -84,8 +84,7 @@ pub fn microscope_rank(d: &Diagnosis, event: &InjectedEvent) -> usize {
     d.culprits
         .iter()
         .position(|c| culprit_matches(event, c.node, c.kind, c.window))
-        .map(|p| p + 1)
-        .unwrap_or(d.culprits.len() + 1)
+        .map_or(d.culprits.len() + 1, |p| p + 1)
 }
 
 /// Rank (1-based) of the true culprit node in a NetMedic ranking.
@@ -94,8 +93,7 @@ pub fn netmedic_rank(ranked: &[netmedic::RankedComponent], event: &InjectedEvent
     ranked
         .iter()
         .position(|r| r.node == want)
-        .map(|p| p + 1)
-        .unwrap_or(ranked.len() + 1)
+        .map_or(ranked.len() + 1, |p| p + 1)
 }
 
 /// Hop distance in the NF DAG from the culprit node to the victim NF

@@ -12,7 +12,7 @@ pub fn throughput_series(
 ) -> Vec<(Nanos, f64)> {
     assert!(bucket_ns > 0);
     let end = out.duration;
-    let n = (end / bucket_ns + 1) as usize;
+    let n = (end / bucket_ns) as usize + 1;
     let mut counts = vec![0u64; n];
     for f in &out.fates {
         if let PacketOutcome::Delivered(at) = f.outcome {
@@ -42,7 +42,7 @@ pub fn drop_series(
 ) -> Vec<(Nanos, u64)> {
     assert!(bucket_ns > 0);
     let end = out.duration;
-    let n = (end / bucket_ns + 1) as usize;
+    let n = (end / bucket_ns) as usize + 1;
     let mut counts = vec![0u64; n];
     for d in &out.drops {
         if d.nf == nf && filter(&d.packet.flow) {
@@ -78,7 +78,7 @@ pub fn input_rate_series(
 ) -> Vec<(Nanos, f64)> {
     assert!(bucket_ns > 0);
     let end = out.duration;
-    let n = (end / bucket_ns + 1) as usize;
+    let n = (end / bucket_ns) as usize + 1;
     let mut counts = vec![0u64; n];
     for f in &out.fates {
         if !filter(&f.packet.flow) {
@@ -126,7 +126,7 @@ mod tests {
         let packets: Vec<Packet> = (0..1000u64)
             .map(|i| Packet::new(i, flow, 64, i * 1_000))
             .collect();
-        Simulation::new(topo, cfgs, SimConfig::default()).run(packets)
+        Simulation::new(topo, cfgs, SimConfig::default()).run(&packets)
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! The R4 panic-surface baseline: `lint-baseline.toml`.
+//!
+//! The baseline grandfathers the `unwrap()`/`expect(` sites that existed
+//! when the linter was introduced, as a per-file count. New sites fail the
+//! gate; removing sites without regenerating the file trips the stale-drift
+//! check, so the recorded count ratchets monotonically downward and the
+//! file's history *is* the burn-down record.
+//!
+//! The format is a small, hand-rolled TOML subset (one `[r4]` table of
+//! `"path" = count` entries) so the linter stays dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-file allowed R4 counts.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    pub r4: BTreeMap<String, usize>,
+}
+
+/// Errors from reading a baseline file.
+#[derive(Debug)]
+pub enum BaselineError {
+    Io(std::io::Error),
+    /// Line number and description of the malformed line.
+    Parse(usize, String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Io(e) => write!(f, "baseline i/o error: {e}"),
+            BaselineError::Parse(line, what) => {
+                write!(f, "baseline parse error on line {line}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl Baseline {
+    /// Parses the baseline text format.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let mut out = Baseline::default();
+        let mut in_r4 = false;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = i + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_r4 = line == "[r4]";
+                if !in_r4 && line.ends_with(']') {
+                    // Unknown tables are ignored (forward compatibility).
+                    continue;
+                }
+                if !line.ends_with(']') {
+                    return Err(BaselineError::Parse(
+                        lineno,
+                        format!("bad table header {line:?}"),
+                    ));
+                }
+                continue;
+            }
+            if !in_r4 {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(BaselineError::Parse(
+                    lineno,
+                    format!("expected `\"path\" = count`, got {line:?}"),
+                ));
+            };
+            let key = key.trim();
+            let path = key
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| {
+                    BaselineError::Parse(lineno, format!("path must be double-quoted, got {key:?}"))
+                })?;
+            let count: usize = value.trim().parse().map_err(|_| {
+                BaselineError::Parse(lineno, format!("bad count {:?}", value.trim()))
+            })?;
+            out.r4.insert(path.to_string(), count);
+        }
+        Ok(out)
+    }
+
+    /// Loads from a file; a missing file is an empty baseline.
+    pub fn load(path: &std::path::Path) -> Result<Baseline, BaselineError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Baseline::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(BaselineError::Io(e)),
+        }
+    }
+
+    /// Renders the canonical file text (sorted, commented header).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# msc-lint panic-surface baseline (rule R4).\n\
+             # Grandfathered `unwrap()`/`expect(` sites per library file. The gate\n\
+             # fails when a file exceeds its count, and the stale-drift check fails\n\
+             # when a count shrinks without regenerating this file — so the numbers\n\
+             # below only ever go down. Regenerate with:\n\
+             #   cargo run -p msc-lint -- --write-baseline\n\
+             \n[r4]\n",
+        );
+        for (path, count) in &self.r4 {
+            out.push_str(&format!("\"{path}\" = {count}\n"));
+        }
+        out
+    }
+
+    /// Total grandfathered sites.
+    pub fn total(&self) -> usize {
+        self.r4.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = Baseline::default();
+        b.r4.insert("crates/core/src/diagnose.rs".into(), 7);
+        b.r4.insert("src/lib.rs".into(), 1);
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.total(), 8);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let b = Baseline::load(std::path::Path::new("/nonexistent/msc-lint-baseline")).unwrap();
+        assert!(b.r4.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Baseline::parse("[r4]\nnot a pair\n").is_err());
+        assert!(Baseline::parse("[r4]\n\"x.rs\" = lots\n").is_err());
+        assert!(Baseline::parse("[r4]\nx.rs = 3\n").is_err());
+    }
+
+    #[test]
+    fn unknown_tables_are_ignored() {
+        let b = Baseline::parse("[future]\n\"x\" = 1\n[r4]\n\"y.rs\" = 2\n").unwrap();
+        assert_eq!(b.r4.len(), 1);
+        assert_eq!(b.r4["y.rs"], 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! Workspace walking, rule dispatch, baseline comparison, and reporting.
+
+use crate::baseline::{Baseline, BaselineError};
+use crate::findings::{Finding, RuleId};
+use crate::lexer;
+use crate::rules::{self, FileCtx, FileKind};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Crate directories that are vendored stand-ins for external dependencies
+/// (see the workspace `Cargo.toml`): not part of this project's invariant
+/// surface, so the linter does not walk them.
+const VENDORED_DIRS: &[&str] = &["compat", "target"];
+
+/// A driver error (I/O or baseline syntax) — distinct from findings.
+#[derive(Debug)]
+pub enum DriverError {
+    Io(PathBuf, std::io::Error),
+    Baseline(BaselineError),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            DriverError::Baseline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<BaselineError> for DriverError {
+    fn from(e: BaselineError) -> Self {
+        DriverError::Baseline(e)
+    }
+}
+
+/// The result of a workspace lint run.
+#[derive(Debug, Default)]
+pub struct LintRun {
+    /// Gate-failing findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Current R4 site counts per file (before baselining) — what
+    /// `--write-baseline` persists.
+    pub r4_counts: BTreeMap<String, usize>,
+    /// Files scanned.
+    pub files: usize,
+}
+
+/// Discovers the `.rs` files of every non-vendored workspace crate:
+/// `crates/*/src/**` plus the root crate's `src/**`. Test, bench, and
+/// example *targets* are out of scope by construction (only `src/` trees
+/// are walked); `#[cfg(test)]` items inside `src/` are excluded per-item
+/// by the rules layer.
+pub fn discover(root: &Path) -> Result<Vec<(PathBuf, String, FileKind)>, DriverError> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_roots: Vec<(PathBuf, String)> =
+        vec![(root.join("src"), "microscope-repro".into())];
+    if crates_dir.is_dir() {
+        let entries =
+            std::fs::read_dir(&crates_dir).map_err(|e| DriverError::Io(crates_dir.clone(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| DriverError::Io(crates_dir.clone(), e))?;
+            let name = entry.file_name().to_string_lossy().to_string();
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                crate_roots.push((src, name));
+            }
+        }
+    }
+    crate_roots.sort();
+    for (src, crate_name) in crate_roots {
+        if VENDORED_DIRS.contains(&crate_name.as_str()) {
+            continue;
+        }
+        let mut files = Vec::new();
+        walk_rs(&src, &mut files)?;
+        files.sort();
+        for f in files {
+            let in_bin_dir = f.strip_prefix(&src).ok().is_some_and(|rel| {
+                rel.components()
+                    .next()
+                    .is_some_and(|c| c.as_os_str() == "bin")
+            });
+            // `main.rs` is always a binary target root; `src/bin/*` files
+            // are binaries in any crate. For bin crates with helper modules
+            // (the CLI), those modules compile into the binary too — but
+            // they are still held to the library rules except R4, which the
+            // per-crate kind below decides.
+            let is_main = f.file_name().is_some_and(|n| n == "main.rs");
+            let crate_is_bin = !src.join("lib.rs").exists();
+            let kind = if in_bin_dir || is_main || crate_is_bin {
+                FileKind::Bin
+            } else {
+                FileKind::Lib
+            };
+            out.push((f, crate_name.clone(), kind));
+        }
+    }
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), DriverError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| DriverError::Io(dir.to_path_buf(), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| DriverError::Io(dir.to_path_buf(), e))?;
+        let p = entry.path();
+        if p.is_dir() {
+            walk_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lints one already-loaded file. Exposed for the fixture tests.
+pub fn lint_source(path: &str, crate_name: &str, kind: FileKind, source: &str) -> Vec<Finding> {
+    let ctx = FileCtx::new(
+        path.to_string(),
+        crate_name.to_string(),
+        kind,
+        lexer::lex(source),
+    );
+    rules::run_all(&ctx)
+}
+
+/// Runs the full workspace lint rooted at `root` against `baseline`.
+///
+/// R1/R2/R3/R5 findings always gate. R4 sites are folded into per-file
+/// counts and compared against the baseline: a file over its allowance
+/// contributes one summary finding; a file *under* its allowance (or a
+/// baselined file that no longer exists) is stale drift, which also gates
+/// so the checked-in counts can only ratchet down explicitly.
+pub fn run(root: &Path, baseline: &Baseline) -> Result<LintRun, DriverError> {
+    let files = discover(root)?;
+    let mut run = LintRun {
+        files: files.len(),
+        ..Default::default()
+    };
+    let mut r4_lines: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+
+    for (path, crate_name, kind) in files {
+        let source =
+            std::fs::read_to_string(&path).map_err(|e| DriverError::Io(path.clone(), e))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        for f in lint_source(&rel, &crate_name, kind, &source) {
+            if f.rule == RuleId::PanicSurface {
+                r4_lines.entry(rel.clone()).or_default().push(f.line);
+            } else {
+                run.findings.push(f);
+            }
+        }
+    }
+
+    for (file, lines) in &r4_lines {
+        run.r4_counts.insert(file.clone(), lines.len());
+    }
+
+    // Baseline comparison.
+    for (file, lines) in &r4_lines {
+        let allowed = baseline.r4.get(file).copied().unwrap_or(0);
+        let actual = lines.len();
+        if actual > allowed {
+            let shown: Vec<String> = lines.iter().map(u32::to_string).collect();
+            run.findings.push(Finding {
+                rule: RuleId::PanicSurface,
+                file: file.clone(),
+                line: lines[0],
+                message: format!(
+                    "{actual} unwrap()/expect( site(s) but baseline allows {allowed} \
+                     (lines {}); return a typed error instead, or regenerate the \
+                     baseline only for grandfathered code",
+                    shown.join(", ")
+                ),
+            });
+        }
+    }
+    // Stale-drift: baselined files that improved or disappeared must be
+    // re-recorded so the checked-in count is always exact.
+    for (file, &allowed) in &baseline.r4 {
+        let actual = r4_lines.get(file).map_or(0, Vec::len);
+        if actual < allowed {
+            run.findings.push(Finding {
+                rule: RuleId::PanicSurface,
+                file: file.clone(),
+                line: 1,
+                message: format!(
+                    "stale baseline: allows {allowed} panic site(s) but found {actual}; \
+                     run `cargo run -p msc-lint -- --write-baseline` to ratchet down"
+                ),
+            });
+        }
+    }
+
+    run.findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r4_over_baseline_gates_and_under_is_stale() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let findings = lint_source("crates/core/src/x.rs", "core", FileKind::Lib, src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RuleId::PanicSurface);
+    }
+
+    #[test]
+    fn bin_files_have_no_panic_rule() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let findings = lint_source("crates/cli/src/main.rs", "cli", FileKind::Bin, src);
+        assert!(findings.is_empty());
+    }
+}

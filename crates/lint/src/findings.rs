@@ -1,0 +1,143 @@
+//! Finding types and the two output formats (human text, machine JSON).
+
+use std::fmt;
+
+/// The five project invariants `msc-lint` enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// R1 — HashMap/HashSet iteration order must not reach output.
+    OrderSensitivity,
+    /// R2 — timestamp arithmetic must be saturating/wrapping/checked.
+    TimeArithmetic,
+    /// R3 — lossy `as` casts on wire-format quantities.
+    LossyCast,
+    /// R4 — panic surface (`unwrap`/`expect`) in library code, baselined.
+    PanicSurface,
+    /// R5 — `unsafe` requires a `// SAFETY:` comment on the preceding line.
+    UnsafeAudit,
+}
+
+impl RuleId {
+    /// Short id used in output and tests ("R1".."R5").
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::OrderSensitivity => "R1",
+            RuleId::TimeArithmetic => "R2",
+            RuleId::LossyCast => "R3",
+            RuleId::PanicSurface => "R4",
+            RuleId::UnsafeAudit => "R5",
+        }
+    }
+
+    /// Human slug used in output ("order-sensitivity", ...).
+    pub fn slug(self) -> &'static str {
+        match self {
+            RuleId::OrderSensitivity => "order-sensitivity",
+            RuleId::TimeArithmetic => "time-arithmetic",
+            RuleId::LossyCast => "lossy-cast",
+            RuleId::PanicSurface => "panic-surface",
+            RuleId::UnsafeAudit => "unsafe-audit",
+        }
+    }
+
+    /// The `// lint: <slug>(reason)` annotation that suppresses this rule at
+    /// a site, if the rule supports annotations.
+    pub fn annotation(self) -> Option<&'static str> {
+        match self {
+            RuleId::OrderSensitivity => Some("order-insensitive"),
+            RuleId::TimeArithmetic => Some("time-arith-ok"),
+            RuleId::LossyCast => Some("lossy-cast-ok"),
+            // R4 is governed by the baseline file, R5 by `// SAFETY:`.
+            RuleId::PanicSurface | RuleId::UnsafeAudit => None,
+        }
+    }
+}
+
+/// One violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: RuleId,
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}: {}:{}: {}",
+            self.rule.id(),
+            self.rule.slug(),
+            self.file,
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a JSON array (stable field order, sorted input).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\":\"{}\",\"slug\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            f.rule.id(),
+            f.rule.slug(),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_orders_fields() {
+        let f = vec![Finding {
+            rule: RuleId::OrderSensitivity,
+            file: "a\\b\"c.rs".into(),
+            line: 7,
+            message: "tab\there".into(),
+        }];
+        let j = to_json(&f);
+        assert!(j.contains(r#""rule":"R1""#));
+        assert!(j.contains(r#""file":"a\\b\"c.rs""#));
+        assert!(j.contains(r#"tab\there"#));
+    }
+
+    #[test]
+    fn empty_findings_render_as_empty_array() {
+        assert_eq!(to_json(&[]), "[]");
+    }
+}

@@ -1,0 +1,526 @@
+//! A small, comment- and string-aware Rust lexer.
+//!
+//! The rules in this crate reason about *token streams*, never raw text, so
+//! that `"HashMap"` inside a string literal, `unsafe` inside a doc comment,
+//! and `'a` lifetimes vs `'a'` char literals can never confuse them. The
+//! lexer is deliberately simpler than rustc's: it has no need for precise
+//! numeric suffixes or macro fragments, only for a faithful token/comment
+//! split with correct line numbers.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`let`, `unsafe`, `HashMap`, `r#type`, ...).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (not a char literal).
+    Lifetime,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'\0'`.
+    CharLit,
+    /// String, raw-string, byte-string, or raw-byte-string literal.
+    StrLit,
+    /// Numeric literal (integers and floats, any base, with suffixes).
+    NumLit,
+    /// Punctuation, including multi-character operators (`-=`, `::`, `..=`).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// The output of [`lex`]: tokens plus the comment text attached to each line.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    /// Comment text per 1-based line. A block comment contributes its text to
+    /// every line it spans, so "comment on the preceding line" checks work
+    /// for multi-line `/* SAFETY: ... */` blocks too.
+    pub comments: std::collections::BTreeMap<u32, String>,
+}
+
+impl Lexed {
+    /// Comment text recorded for `line`, or `""`.
+    pub fn comment_on(&self, line: u32) -> &str {
+        self.comments.get(&line).map_or("", String::as_str)
+    }
+}
+
+/// Multi-character punctuation recognised as single tokens, longest first.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "->", "=>", "::", "..", "==", "!=", "<=", ">=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and per-line comments. Never fails: unterminated
+/// literals are closed at end-of-file, which is good enough for linting
+/// (rustc will reject such files anyway).
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let push_comment = |out: &mut Lexed, line: u32, text: &str| {
+        let slot = out.comments.entry(line).or_default();
+        if !slot.is_empty() {
+            slot.push(' ');
+        }
+        slot.push_str(text);
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment.
+        if c == '/' && bytes.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            push_comment(&mut out, line, &text);
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if c == '/' && bytes.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            let start = i;
+            let first_line = line;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let text: String = bytes[start..i].iter().collect();
+            for l in first_line..=line {
+                push_comment(&mut out, l, &text);
+            }
+            continue;
+        }
+
+        // Raw strings / raw byte strings / raw identifiers.
+        if c == 'r' || c == 'b' {
+            // br"..." / rb is not a thing; handle r", r#", b", b', br", br#".
+            let mut j = i;
+            let mut prefix = String::new();
+            while j < bytes.len() && (bytes[j] == 'r' || bytes[j] == 'b') && prefix.len() < 2 {
+                prefix.push(bytes[j]);
+                j += 1;
+            }
+            let has_r = prefix.contains('r');
+            if has_r && j < bytes.len() && (bytes[j] == '#' || bytes[j] == '"') {
+                // Raw identifier r#name (no quote after hashes).
+                let mut hashes = 0usize;
+                while bytes.get(j + hashes) == Some(&'#') {
+                    hashes += 1;
+                }
+                if bytes.get(j + hashes) == Some(&'"') {
+                    // Raw string: scan for `"` followed by `hashes` hashes.
+                    let start_line = line;
+                    let mut k = j + hashes + 1;
+                    while k < bytes.len() {
+                        if bytes[k] == '\n' {
+                            line += 1;
+                            k += 1;
+                            continue;
+                        }
+                        if bytes[k] == '"' {
+                            let mut h = 0usize;
+                            while h < hashes && bytes.get(k + 1 + h) == Some(&'#') {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                k += 1 + hashes;
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    let text: String = bytes[i..k.min(bytes.len())].iter().collect();
+                    out.tokens.push(Tok {
+                        kind: TokKind::StrLit,
+                        text,
+                        line: start_line,
+                    });
+                    i = k.min(bytes.len());
+                    continue;
+                }
+                if hashes == 1
+                    && prefix == "r"
+                    && bytes.get(j + 1).is_some_and(|c| is_ident_start(*c))
+                {
+                    // r#ident — lex as a normal identifier (keep the prefix).
+                    let mut k = j + 1;
+                    while k < bytes.len() && is_ident_continue(bytes[k]) {
+                        k += 1;
+                    }
+                    let text: String = bytes[i..k].iter().collect();
+                    out.tokens.push(Tok {
+                        kind: TokKind::Ident,
+                        text,
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+            }
+            if prefix.contains('b') && !has_r {
+                if bytes.get(i + 1) == Some(&'"') {
+                    // b"..." — fall through to the string scanner below from
+                    // the quote, keeping the prefix in the token text.
+                    let (text, nl) = scan_quoted(&bytes, i + 1, '"');
+                    out.tokens.push(Tok {
+                        kind: TokKind::StrLit,
+                        text: format!("b{text}"),
+                        line,
+                    });
+                    line += nl;
+                    i = i + 1 + text.chars().count();
+                    continue;
+                }
+                if bytes.get(i + 1) == Some(&'\'') {
+                    let (text, nl) = scan_quoted(&bytes, i + 1, '\'');
+                    out.tokens.push(Tok {
+                        kind: TokKind::CharLit,
+                        text: format!("b{text}"),
+                        line,
+                    });
+                    line += nl;
+                    i = i + 1 + text.chars().count();
+                    continue;
+                }
+            }
+            // Plain identifier starting with r/b.
+        }
+
+        // String literal.
+        if c == '"' {
+            let start_line = line;
+            let (text, nl) = scan_quoted(&bytes, i, '"');
+            i += text.chars().count();
+            line += nl;
+            out.tokens.push(Tok {
+                kind: TokKind::StrLit,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Lifetime or char literal.
+        if c == '\'' {
+            // A lifetime is `'` ident-start ident-continue* NOT followed by
+            // a closing `'`. Everything else after `'` is a char literal.
+            let mut k = i + 1;
+            if k < bytes.len() && is_ident_start(bytes[k]) {
+                while k < bytes.len() && is_ident_continue(bytes[k]) {
+                    k += 1;
+                }
+                if bytes.get(k) != Some(&'\'') {
+                    let text: String = bytes[i..k].iter().collect();
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text,
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+            }
+            let (text, nl) = scan_quoted(&bytes, i, '\'');
+            i += text.chars().count();
+            line += nl;
+            out.tokens.push(Tok {
+                kind: TokKind::CharLit,
+                text,
+                line,
+            });
+            continue;
+        }
+
+        // Number.
+        if c.is_ascii_digit() {
+            let mut k = i;
+            let mut prev_exp = false;
+            while k < bytes.len() {
+                let d = bytes[k];
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    prev_exp = d == 'e' || d == 'E';
+                    k += 1;
+                } else if d == '.' && bytes.get(k + 1).is_some_and(char::is_ascii_digit) {
+                    // `1.5` but not `1..n` or `1.method()`.
+                    k += 1;
+                } else if (d == '+' || d == '-') && prev_exp {
+                    // `1e-9`
+                    prev_exp = false;
+                    k += 1;
+                } else {
+                    break;
+                }
+            }
+            let text: String = bytes[i..k].iter().collect();
+            out.tokens.push(Tok {
+                kind: TokKind::NumLit,
+                text,
+                line,
+            });
+            i = k;
+            continue;
+        }
+
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let mut k = i;
+            while k < bytes.len() && is_ident_continue(bytes[k]) {
+                k += 1;
+            }
+            let text: String = bytes[i..k].iter().collect();
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            i = k;
+            continue;
+        }
+
+        // Punctuation: try multi-char operators longest-first.
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            let n = op.chars().count();
+            if i + n <= bytes.len() && bytes[i..i + n].iter().collect::<String>() == **op {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (*op).to_string(),
+                    line,
+                });
+                i += n;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            out.tokens.push(Tok {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Scans a quoted literal starting at the opening quote `bytes[start]`,
+/// honouring backslash escapes. Returns (text including both quotes,
+/// newline count inside the literal).
+fn scan_quoted(bytes: &[char], start: usize, quote: char) -> (String, u32) {
+    let mut k = start + 1;
+    let mut newlines = 0u32;
+    while k < bytes.len() {
+        match bytes[k] {
+            // An escape consumes the next char too; a `\` + newline
+            // line-continuation still ends a source line, so count it.
+            '\\' => {
+                if bytes.get(k + 1) == Some(&'\n') {
+                    newlines += 1;
+                }
+                k += 2;
+            }
+            '\n' => {
+                newlines += 1;
+                k += 1;
+            }
+            c if c == quote => {
+                k += 1;
+                break;
+            }
+            _ => k += 1,
+        }
+    }
+    let text: String = bytes[start..k.min(bytes.len())].iter().collect();
+    (text, newlines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let s = "for x in map.iter() unsafe";"#);
+        assert!(l.tokens.iter().all(|t| t.text != "unsafe"));
+        let strs: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::StrLit)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("map.iter()"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let l = lex(r#"let s = "a \" b"; let t = 1;"#);
+        let idents: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r###"let s = r#"quote " inside"#; let u = unsafe_marker;"###);
+        let strs: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::StrLit)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("quote \" inside"));
+        assert!(l.tokens.iter().any(|t| t.text == "unsafe_marker"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert_eq!(
+            l.tokens.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            vec!["let", "x", "=", "1", ";"]
+        );
+        assert!(l.comment_on(1).contains("inner"));
+        assert!(l.comment_on(1).contains("still comment"));
+    }
+
+    #[test]
+    fn multi_line_block_comment_tags_every_line() {
+        let l = lex("/* SAFETY:\n   spans lines */\nunsafe {}");
+        assert!(l.comment_on(1).contains("SAFETY:"));
+        assert!(l.comment_on(2).contains("SAFETY:"));
+        let u = l.tokens.iter().find(|t| t.text == "unsafe").unwrap();
+        assert_eq!(u.line, 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::CharLit)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'a'", "'\\n'"]);
+    }
+
+    #[test]
+    fn static_lifetime_and_escaped_char_quote() {
+        let l = lex(r"const S: &'static str = EMPTY; let q = '\'';");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'static"));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::CharLit && t.text == r"'\''"));
+    }
+
+    #[test]
+    fn multi_char_punct_and_numbers() {
+        let got = kinds("a -= b; c..=d; e::<f>(); 1_000u64 + 0x1f - 1e-9");
+        assert!(got.contains(&(TokKind::Punct, "-=".into())));
+        assert!(got.contains(&(TokKind::Punct, "..=".into())));
+        assert!(got.contains(&(TokKind::Punct, "::".into())));
+        assert!(got.contains(&(TokKind::NumLit, "1_000u64".into())));
+        assert!(got.contains(&(TokKind::NumLit, "0x1f".into())));
+        assert!(got.contains(&(TokKind::NumLit, "1e-9".into())));
+    }
+
+    #[test]
+    fn line_numbers_survive_literals_and_comments() {
+        let src = "let a = 1;\n\"two\nlines\";\n// comment\nlet b = 2;\n";
+        let l = lex(src);
+        let b = l.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 5);
+        assert!(l.comment_on(4).contains("comment"));
+    }
+
+    #[test]
+    fn line_comment_text_is_recorded_per_line() {
+        let l = lex("// lint: order-insensitive(sums are commutative)\nx.keys();");
+        assert!(l.comment_on(1).contains("order-insensitive"));
+        assert_eq!(l.comment_on(2), "");
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers() {
+        let src = "let s = \"a\\\nb\\\nc\";\nlet after = 1;\n";
+        let l = lex(src);
+        let after = l.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let l = lex(r#"let m = b"MSCB"; let z = b'\0';"#);
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::StrLit && t.text == "b\"MSCB\""));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::CharLit && t.text == r"b'\0'"));
+    }
+}

@@ -1,0 +1,35 @@
+//! `msc-lint` — the workspace's project-specific static-analysis pass.
+//!
+//! Rust's own tooling cannot see the invariants this reproduction lives and
+//! dies by: clippy is happy with `for (k, v) in &map` even when the float
+//! roll-up inside the loop makes the report depend on `HashMap` iteration
+//! order (the PR 1 autofocus bug), and with `rx_ts - offset` even when a
+//! skew-corrected offset makes the unsigned subtraction wrap (the PR 1 skew
+//! bug). `msc-lint` encodes those shipped-and-fixed bug classes as hard
+//! `cargo`-time errors:
+//!
+//! * **R1 order-sensitivity** — unordered-map iteration in output-producing
+//!   crates must sort or be annotated order-insensitive.
+//! * **R2 saturating time arithmetic** — bare `+`/`-` on timestamps.
+//! * **R3 lossy casts** — `as u8`/`as u16`/`as u32` on wire quantities.
+//! * **R4 panic surface** — `unwrap`/`expect` in library code, ratcheted
+//!   down by `lint-baseline.toml`.
+//! * **R5 unsafe audit** — `unsafe` requires a `// SAFETY:` comment.
+//!
+//! The crate is dependency-free: a small comment/string-aware lexer
+//! ([`lexer`]) feeds per-rule token-stream visitors ([`rules`]); [`driver`]
+//! walks the workspace and applies the [`baseline`]. See DESIGN.md
+//! "Determinism invariants and how msc-lint enforces them".
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod driver;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::Baseline;
+pub use driver::{lint_source, run, DriverError, LintRun};
+pub use findings::{to_json, Finding, RuleId};
+pub use rules::{FileCtx, FileKind};

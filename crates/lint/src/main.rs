@@ -1,0 +1,132 @@
+//! CLI driver: `cargo run -p msc-lint -- [--root DIR] [--baseline FILE]
+//! [--format text|json] [--write-baseline]`.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use msc_lint::{to_json, Baseline};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+msc-lint — workspace static analysis for determinism/saturation/panic invariants
+
+usage: cargo run -p msc-lint -- [options]
+  --root DIR         workspace root to lint (default: .)
+  --baseline FILE    R4 baseline file (default: <root>/lint-baseline.toml)
+  --format text|json output format (default: text)
+  --write-baseline   record current R4 counts as the new baseline and exit";
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    format: Format,
+    write_baseline: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline: None,
+        format: Format::Text,
+        write_baseline: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = PathBuf::from(it.next().ok_or("--root wants a directory")?),
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline wants a file")?));
+            }
+            "--format" => {
+                args.format = match it.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => return Err(format!("--format wants text|json, got {other:?}")),
+                }
+            }
+            "--write-baseline" => args.write_baseline = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint-baseline.toml"));
+
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let run = match msc_lint::run(&args.root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.write_baseline {
+        let new = Baseline {
+            r4: run.r4_counts.clone(),
+        };
+        if let Err(e) = std::fs::write(&baseline_path, new.render()) {
+            eprintln!("error: write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "wrote {} ({} grandfathered panic site(s) across {} file(s))",
+            baseline_path.display(),
+            new.total(),
+            new.r4.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    match args.format {
+        Format::Json => println!("{}", to_json(&run.findings)),
+        Format::Text => {
+            for f in &run.findings {
+                println!("{f}");
+            }
+            eprintln!(
+                "msc-lint: {} file(s), {} finding(s), R4 baseline {} site(s) in {} file(s)",
+                run.files,
+                run.findings.len(),
+                baseline.total(),
+                baseline.r4.len()
+            );
+        }
+    }
+    if run.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

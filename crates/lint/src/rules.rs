@@ -1,0 +1,689 @@
+//! The five rule visitors, operating on the lexed token stream of one file.
+//!
+//! Every rule is a deliberately *syntactic* over-approximation: this linter
+//! has no type information, so it reasons about binding names, declared
+//! types, and suffix conventions. False positives are expected and cheap —
+//! each rule has an explicit, greppable escape hatch (`// lint: <slug>(...)`
+//! annotations for R1–R3, `// SAFETY:` for R5, the checked-in baseline for
+//! R4) that doubles as reviewer-facing documentation of *why* a site is
+//! exempt. False negatives are bounded by convention: the rules cover the
+//! idioms this workspace actually uses (and the ones that already produced
+//! shipped bugs — see DESIGN.md "Determinism invariants").
+
+use crate::findings::{Finding, RuleId};
+use crate::lexer::{Lexed, Tok, TokKind};
+use std::collections::BTreeSet;
+
+/// Which target a file belongs to; decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: all rules, including the R4 panic-surface ratchet.
+    Lib,
+    /// Binary code (`src/main.rs` of bin crates, `src/bin/*`): R1–R3 and R5
+    /// apply, R4 does not (a CLI may panic on impossible states).
+    Bin,
+}
+
+/// One file ready for linting.
+pub struct FileCtx {
+    /// Workspace-relative path (as reported in findings).
+    pub path: String,
+    /// The crate the file belongs to (directory name under `crates/`).
+    pub crate_name: String,
+    pub kind: FileKind,
+    pub lexed: Lexed,
+    /// Token-index ranges (inclusive) belonging to `#[cfg(test)]` / `#[test]`
+    /// / `#[bench]` items: excluded from every rule.
+    excluded: Vec<(usize, usize)>,
+}
+
+/// Crates whose output feeds reports, figures, or serialized artifacts —
+/// the R1 order-sensitivity scope.
+pub const OUTPUT_CRATES: &[&str] = &[
+    "autofocus",
+    "core",
+    "trace",
+    "netmedic",
+    "experiments",
+    "cli",
+];
+
+/// Map/set types whose iteration order is nondeterministic per process.
+const UNORDERED_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Methods that begin an iteration over a map/set binding.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Identifiers that pin an ordering when they appear in the same (or the
+/// immediately following) statement as an unordered iteration.
+fn is_order_fixing(ident: &str) -> bool {
+    ident.starts_with("sort") || ident == "BTreeMap" || ident == "BTreeSet"
+}
+
+/// Signed / float cast targets that make a bare timestamp difference safe
+/// (`a as i64 - b as i64` is the sanctioned signed-delta idiom — it cannot
+/// underflow-wrap the way unsigned `Nanos` subtraction can).
+const SIGNED_CASTS: &[&str] = &[
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "i128",
+    "isize",
+    "f32",
+    "f64",
+    "TimeDelta",
+];
+
+/// Lossy cast targets checked by R3.
+const NARROW_CASTS: &[&str] = &["u8", "u16", "u32"];
+
+impl FileCtx {
+    pub fn new(path: String, crate_name: String, kind: FileKind, lexed: Lexed) -> Self {
+        let excluded = excluded_ranges(&lexed.tokens);
+        Self {
+            path,
+            crate_name,
+            kind,
+            lexed,
+            excluded,
+        }
+    }
+
+    fn is_excluded(&self, idx: usize) -> bool {
+        self.excluded.iter().any(|&(a, b)| idx >= a && idx <= b)
+    }
+
+    /// True when the site at `line` carries a `// lint: <slug>(reason)`
+    /// annotation on the same or the preceding line.
+    fn annotated(&self, line: u32, slug: &str) -> bool {
+        has_annotation(self.lexed.comment_on(line), slug)
+            || (line > 1 && has_annotation(self.lexed.comment_on(line - 1), slug))
+    }
+
+    fn toks(&self) -> &[Tok] {
+        &self.lexed.tokens
+    }
+}
+
+/// Checks `comment` for `lint:` followed (anywhere later) by `slug(reason)`
+/// with a non-empty reason.
+fn has_annotation(comment: &str, slug: &str) -> bool {
+    let Some(at) = comment.find("lint:") else {
+        return false;
+    };
+    let rest = &comment[at..];
+    let Some(s) = rest.find(&format!("{slug}(")) else {
+        return false;
+    };
+    let after = &rest[s + slug.len() + 1..];
+    match after.find(')') {
+        Some(close) => !after[..close].trim().is_empty(),
+        None => false,
+    }
+}
+
+/// Computes token ranges covered by test-only items: any item annotated
+/// `#[cfg(test)]`, `#[test]`, or `#[bench]` (including `mod tests { ... }`
+/// blocks, which removes their entire contents).
+fn excluded_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("[") {
+            let attr_start = i;
+            let Some(attr_end) = matching(toks, i + 1, "[", "]") else {
+                break;
+            };
+            let testish = toks[attr_start..=attr_end]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && (t.text == "test" || t.text == "bench"));
+            if testish {
+                // Skip any further attributes on the same item.
+                let mut k = attr_end + 1;
+                while toks.get(k).map(|t| t.text.as_str()) == Some("#")
+                    && toks.get(k + 1).map(|t| t.text.as_str()) == Some("[")
+                {
+                    match matching(toks, k + 1, "[", "]") {
+                        Some(e) => k = e + 1,
+                        None => return out,
+                    }
+                }
+                // The item body: first `;` at depth 0, or the matching `}`
+                // of the first `{` at depth 0.
+                let mut depth = 0i32;
+                let mut m = k;
+                while m < toks.len() {
+                    match toks[m].text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        ";" if depth == 0 => break,
+                        "{" if depth == 0 => {
+                            m = matching(toks, m, "{", "}").unwrap_or(toks.len() - 1);
+                            break;
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                out.push((attr_start, m.min(toks.len().saturating_sub(1))));
+                i = m + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index of the token matching the opener at `open_idx` (`toks[open_idx]`
+/// must equal `open`), counting nesting of that delimiter pair only.
+fn matching(toks: &[Tok], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.text == open {
+            depth += 1;
+        } else if t.text == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Start index of the statement containing `idx`: scans backward to the
+/// nearest `;`, `{`, or `}` at the same nesting level.
+fn stmt_start(toks: &[Tok], idx: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = idx;
+    while j > 0 {
+        let t = toks[j - 1].text.as_str();
+        match t {
+            ")" | "]" | "}" if t == "}" && depth == 0 => return j,
+            ")" | "]" | "}" => depth += 1,
+            "(" | "[" | "{" => {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => return j,
+            _ => {}
+        }
+        j -= 1;
+    }
+    0
+}
+
+/// End index (exclusive) of the statement containing `idx`: scans forward to
+/// the first `;` or block-opening `{` at the same nesting level. Returns the
+/// boundary index and whether it stopped at a `;`.
+fn stmt_end(toks: &[Tok], idx: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut j = idx;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                if depth == 0 {
+                    return (j, false);
+                }
+                depth -= 1;
+            }
+            "{" if depth == 0 => return (j, false),
+            "}" if depth == 0 => return (j, false),
+            ";" if depth == 0 => return (j, true),
+            _ => {}
+        }
+        j += 1;
+    }
+    (toks.len(), false)
+}
+
+/// Timestamp-suffix convention: `ts`, `*_ts`, `*_ns`, `*_nanos`, plus the
+/// `Nanos`-typed accessor spellings used across the workspace.
+fn is_ts_ident(name: &str) -> bool {
+    name == "ts"
+        || name == "now"
+        || name.ends_with("_ts")
+        || name.ends_with("_ns")
+        || name.ends_with("_nanos")
+}
+
+/// R1 — order-sensitivity: iterating a `HashMap`/`HashSet` binding in
+/// non-test code of an output-producing crate must either flow into a sort
+/// in the same (or immediately following) statement or carry an
+/// `// lint: order-insensitive(reason)` annotation.
+pub fn r1_order_sensitivity(ctx: &FileCtx) -> Vec<Finding> {
+    if !OUTPUT_CRATES.contains(&ctx.crate_name.as_str()) {
+        return Vec::new();
+    }
+    let toks = ctx.toks();
+    let bindings = unordered_bindings(toks);
+    if bindings.is_empty() {
+        return Vec::new();
+    }
+
+    // For-loop expression ranges: (`in`-idx+1 .. body `{`-idx).
+    let mut for_ranges: Vec<(usize, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident && t.text == "for" {
+            // Find the `in` of this loop at pattern depth 0.
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut in_idx = None;
+            while j < toks.len() && j < i + 64 {
+                match toks[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" | ";" => break,
+                    "in" if depth == 0 => {
+                        in_idx = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(ii) = in_idx {
+                let (end, _) = stmt_end(toks, ii + 1);
+                for_ranges.push((ii + 1, end));
+            }
+        }
+    }
+
+    let mut found: BTreeSet<(u32, String)> = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !bindings.contains(t.text.as_str()) || ctx.is_excluded(i) {
+            continue;
+        }
+        let name = t.text.as_str();
+        let next = toks.get(i + 1).map(|t| t.text.as_str());
+        let next2 = toks.get(i + 2).map(|t| t.text.as_str());
+        let in_for = for_ranges.iter().any(|&(a, b)| i >= a && i < b);
+
+        let method_iter = next == Some(".")
+            && next2.is_some_and(|m| ITER_METHODS.contains(&m))
+            && toks.get(i + 3).map(|t| t.text.as_str()) == Some("(");
+        // In a for-loop head, a bare (or borrowed) map binding iterates
+        // implicitly; `map.len()`-style uses do not.
+        let bare_in_for = in_for && next != Some(".");
+        if !(method_iter || bare_in_for) {
+            continue;
+        }
+
+        // Suppression 1: a sort (or ordered-collection collect) in the same
+        // statement, or — for `let` statements — in the one that follows
+        // (the workspace's `let v: Vec<_> = map.into_iter().collect();
+        // v.sort_by(...)` idiom).
+        let start = stmt_start(toks, i);
+        let (end, ended_at_semi) = stmt_end(toks, i);
+        let mut fixing = toks[start..end]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && is_order_fixing(&t.text));
+        if !fixing && ended_at_semi && toks.get(start).map(|t| t.text.as_str()) == Some("let") {
+            let (next_end, _) = stmt_end(toks, end + 1);
+            fixing = toks[end + 1..next_end]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && is_order_fixing(&t.text));
+        }
+        if fixing {
+            continue;
+        }
+        // Suppression 2: explicit annotation.
+        if ctx.annotated(t.line, "order-insensitive") {
+            continue;
+        }
+        found.insert((t.line, name.to_string()));
+    }
+
+    found
+        .into_iter()
+        .map(|(line, name)| Finding {
+            rule: RuleId::OrderSensitivity,
+            file: ctx.path.clone(),
+            line,
+            message: format!(
+                "iteration over unordered `{name}` can leak HashMap order into output; \
+                 sort in the same statement or annotate \
+                 `// lint: order-insensitive(reason)`"
+            ),
+        })
+        .collect()
+}
+
+/// Collects binding names declared with an unordered map/set type in this
+/// file: `let` statements whose initializer/type mentions `HashMap`/
+/// `HashSet`, plus `name: HashMap<..>` params and fields where the map is
+/// the outermost type.
+fn unordered_bindings(toks: &[Tok]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !UNORDERED_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Pattern a/c: `let [mut] NAME ... HashMap ...` within one statement.
+        let start = stmt_start(toks, i);
+        if toks.get(start).map(|t| t.text.as_str()) == Some("let") {
+            let mut k = start + 1;
+            if toks.get(k).map(|t| t.text.as_str()) == Some("mut") {
+                k += 1;
+            }
+            if let Some(name) = toks.get(k).filter(|t| t.kind == TokKind::Ident) {
+                out.insert(name.text.clone());
+                continue;
+            }
+        }
+        // Pattern b: `NAME : [&] [mut] [std::collections::] HashMap <` —
+        // outermost type only (a `Vec<HashMap<..>>` element is reached by
+        // indexed/ordered access, not by iterating the map itself).
+        let mut j = i;
+        let mut ok = true;
+        while j > 0 {
+            let p = &toks[j - 1];
+            match (p.kind, p.text.as_str()) {
+                (TokKind::Ident, "std" | "collections" | "mut") => j -= 1,
+                (TokKind::Punct, "::" | "&") => j -= 1,
+                (TokKind::Lifetime, _) => j -= 1,
+                (TokKind::Punct, ":") => break,
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && j >= 2 && toks[j - 1].text == ":" {
+            if let Some(name) = toks.get(j - 2).filter(|t| t.kind == TokKind::Ident) {
+                out.insert(name.text.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Operand ident collection for R2/R3: walks outward from an operator,
+/// gathering identifiers until an expression boundary at nesting level 0.
+///
+/// Identifiers *inside* balanced `(...)`/`[...]` groups are skipped: in
+/// `bins.entry(d.div_euclid(bin_ns)).or_default() += 1` the quantity being
+/// added to is the counter, not the `bin_ns` key buried in the call
+/// arguments, and in `rx[rx_idx].ts` the index is not the operand either.
+/// Only the top-level receiver chain participates in the suffix check.
+fn operand_idents(toks: &[Tok], idx: usize, forward: bool) -> Vec<(usize, String)> {
+    let boundary = |t: &str| {
+        matches!(
+            t,
+            ";" | ","
+                | "="
+                | "=="
+                | "!="
+                | "<="
+                | ">="
+                | "<"
+                | ">"
+                | "&&"
+                | "||"
+                | "+"
+                | "-"
+                | "*"
+                | "/"
+                | "%"
+                | "+="
+                | "-="
+                | "return"
+                | "=>"
+                | ".."
+                | "..="
+                | "{"
+                | "}"
+        )
+    };
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    if forward {
+        let mut j = idx + 1;
+        while j < toks.len() {
+            let t = &toks[j];
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                s if depth == 0 && boundary(s) => break,
+                _ => {}
+            }
+            if t.kind == TokKind::Ident && depth == 0 {
+                out.push((j, t.text.clone()));
+            }
+            j += 1;
+        }
+    } else {
+        let mut j = idx;
+        while j > 0 {
+            let t = &toks[j - 1];
+            match t.text.as_str() {
+                ")" | "]" => depth += 1,
+                "(" | "[" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                s if depth == 0 && boundary(s) => break,
+                _ => {}
+            }
+            if t.kind == TokKind::Ident && depth == 0 {
+                out.push((j - 1, t.text.clone()));
+            }
+            j -= 1;
+        }
+        out.reverse();
+    }
+    out
+}
+
+/// True when the operand ident list contains an `as <signed>` cast — the
+/// sanctioned signed-delta idiom.
+fn has_signed_cast(idents: &[(usize, String)]) -> bool {
+    idents
+        .windows(2)
+        .any(|w| w[0].1 == "as" && w[0].0 + 1 == w[1].0 && SIGNED_CASTS.contains(&w[1].1.as_str()))
+}
+
+/// R2 — saturating time arithmetic: bare `+`, `-`, `+=`, `-=` where either
+/// operand is a timestamp-suffixed identifier is an error unless both sides
+/// are cast to a signed type first or the site is annotated.
+pub fn r2_time_arithmetic(ctx: &FileCtx) -> Vec<Finding> {
+    let toks = ctx.toks();
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct || !matches!(t.text.as_str(), "+" | "-" | "+=" | "-=") {
+            continue;
+        }
+        if ctx.is_excluded(i) {
+            continue;
+        }
+        // Unary +/- (negation, `-1` literals): previous token is an operator
+        // or opener, or there is no previous token.
+        let unary = match toks.get(i.wrapping_sub(1)) {
+            None => true,
+            Some(p) => {
+                (p.kind == TokKind::Punct && !matches!(p.text.as_str(), ")" | "]" | "}"))
+                    || (p.kind == TokKind::Ident
+                        && matches!(p.text.as_str(), "return" | "as" | "in" | "if" | "else"))
+            }
+        };
+        if unary && matches!(t.text.as_str(), "+" | "-") {
+            continue;
+        }
+        let left = operand_idents(toks, i, false);
+        let right = operand_idents(toks, i, true);
+        let ts_involved = left.iter().chain(right.iter()).any(|(j, n)| {
+            is_ts_ident(n)
+                // Exclude method *names*: `x.checked_sub(slack_ns)` — the
+                // ident before a `(` directly after it is a call, fine; but
+                // a ts ident used as a call argument still counts. Only
+                // skip idents that are path segments of macros (`ns!`).
+                && toks.get(j + 1).map(|t| t.text.as_str()) != Some("!")
+        });
+        if !ts_involved {
+            continue;
+        }
+        if has_signed_cast(&left) && has_signed_cast(&right) {
+            continue;
+        }
+        if seen.contains(&t.line) || ctx.annotated(t.line, "time-arith-ok") {
+            continue;
+        }
+        seen.insert(t.line);
+        out.push(Finding {
+            rule: RuleId::TimeArithmetic,
+            file: ctx.path.clone(),
+            line: t.line,
+            message: format!(
+                "bare `{}` on a timestamp; use saturating_*/wrapping_*/checked_* \
+                 (or cast both sides `as i64` for a signed delta, or annotate \
+                 `// lint: time-arith-ok(reason)`)",
+                t.text
+            ),
+        });
+    }
+    out
+}
+
+/// R3 — lossy casts on wire-format quantities: `as u8`/`as u16`/`as u32`
+/// where the source expression names an IPID / batch / count / length must
+/// be `try_into()` (with a typed error) or annotated.
+pub fn r3_lossy_cast(ctx: &FileCtx) -> Vec<Finding> {
+    let toks = ctx.toks();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "as" || ctx.is_excluded(i) {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if !NARROW_CASTS.contains(&target.text.as_str()) {
+            continue;
+        }
+        let left = operand_idents(toks, i, false);
+        let wire = left.iter().any(|(_, n)| {
+            let l = n.to_ascii_lowercase();
+            l.contains("ipid")
+                || l.contains("batch")
+                || l.contains("count")
+                || l == "len"
+                || l.starts_with("n_")
+        });
+        if !wire || ctx.annotated(t.line, "lossy-cast-ok") {
+            continue;
+        }
+        out.push(Finding {
+            rule: RuleId::LossyCast,
+            file: ctx.path.clone(),
+            line: t.line,
+            message: format!(
+                "lossy `as {}` on a wire-format quantity; use try_into() with a \
+                 typed error or annotate `// lint: lossy-cast-ok(reason)`",
+                target.text
+            ),
+        });
+    }
+    out
+}
+
+/// R4 — panic surface: `.unwrap()` / `.expect(` in library code. Sites are
+/// reported individually; the driver compares per-file counts against the
+/// checked-in baseline.
+pub fn r4_panic_sites(ctx: &FileCtx) -> Vec<Finding> {
+    if ctx.kind != FileKind::Lib {
+        return Vec::new();
+    }
+    let toks = ctx.toks();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.is_excluded(i) {
+            continue;
+        }
+        let call = (t.text == "unwrap" || t.text == "expect")
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+            && i > 0
+            && toks[i - 1].text == ".";
+        if call {
+            out.push(Finding {
+                rule: RuleId::PanicSurface,
+                file: ctx.path.clone(),
+                line: t.line,
+                message: format!("`{}` in library code (baselined panic surface)", t.text),
+            });
+        }
+    }
+    out
+}
+
+/// R5 — unsafe audit: every `unsafe` keyword must have a `// SAFETY:`
+/// comment on its own line or in the contiguous comment block immediately
+/// above it (multi-line `//` justifications count as one block).
+pub fn r5_unsafe_audit(ctx: &FileCtx) -> Vec<Finding> {
+    let toks = ctx.toks();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "unsafe" || ctx.is_excluded(i) {
+            continue;
+        }
+        let here = ctx.lexed.comment_on(t.line).contains("SAFETY:");
+        let mut above = false;
+        let mut l = t.line;
+        while l > 1 {
+            let c = ctx.lexed.comment_on(l - 1);
+            if c.is_empty() {
+                break;
+            }
+            if c.contains("SAFETY:") {
+                above = true;
+                break;
+            }
+            l -= 1;
+        }
+        if !(here || above) {
+            out.push(Finding {
+                rule: RuleId::UnsafeAudit,
+                file: ctx.path.clone(),
+                line: t.line,
+                message: "`unsafe` without a `// SAFETY:` comment immediately above".into(),
+            });
+        }
+    }
+    out
+}
+
+/// Runs every rule on one file (R4 sites are returned raw; baselining
+/// happens in the driver).
+pub fn run_all(ctx: &FileCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    out.extend(r1_order_sensitivity(ctx));
+    out.extend(r2_time_arithmetic(ctx));
+    out.extend(r3_lossy_cast(ctx));
+    out.extend(r4_panic_sites(ctx));
+    out.extend(r5_unsafe_audit(ctx));
+    out
+}

@@ -1,0 +1,152 @@
+//! Fixture tests: each `tests/fixtures/*.rs` file seeds known violations
+//! (or their sanctioned/annotated counterparts) and the assertions here pin
+//! the exact (rule, line) sets `msc-lint` must report for them. The fixture
+//! files are data, not compiled code — the driver's workspace walk never
+//! sees them (it only descends into `src/` trees).
+
+use msc_lint::{lint_source, Baseline, FileKind, RuleId};
+
+/// Lints a fixture as if it lived in an output-producing library crate.
+fn lint_fixture(name: &str, source: &str) -> Vec<(RuleId, u32)> {
+    lint_source(
+        &format!("crates/core/src/{name}"),
+        "core",
+        FileKind::Lib,
+        source,
+    )
+    .into_iter()
+    .map(|f| (f.rule, f.line))
+    .collect()
+}
+
+#[test]
+fn r1_fixture_lines() {
+    let got = lint_fixture(
+        "r1_unordered_iteration.rs",
+        include_str!("fixtures/r1_unordered_iteration.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![
+            (RuleId::OrderSensitivity, 8),
+            (RuleId::OrderSensitivity, 16)
+        ]
+    );
+}
+
+#[test]
+fn r2_fixture_lines() {
+    let got = lint_fixture(
+        "r2_time_arithmetic.rs",
+        include_str!("fixtures/r2_time_arithmetic.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![(RuleId::TimeArithmetic, 6), (RuleId::TimeArithmetic, 12)]
+    );
+}
+
+#[test]
+fn r3_fixture_lines() {
+    let got = lint_fixture(
+        "r3_lossy_cast.rs",
+        include_str!("fixtures/r3_lossy_cast.rs"),
+    );
+    assert_eq!(got, vec![(RuleId::LossyCast, 6), (RuleId::LossyCast, 11)]);
+}
+
+#[test]
+fn r4_fixture_lines_exclude_test_module() {
+    let got = lint_fixture(
+        "r4_panic_surface.rs",
+        include_str!("fixtures/r4_panic_surface.rs"),
+    );
+    // Lines 6 and 11 gate; the unwrap inside `#[cfg(test)] mod tests` does
+    // not appear at all.
+    assert_eq!(
+        got,
+        vec![(RuleId::PanicSurface, 6), (RuleId::PanicSurface, 11)]
+    );
+}
+
+#[test]
+fn r5_fixture_lines() {
+    let got = lint_fixture("r5_unsafe.rs", include_str!("fixtures/r5_unsafe.rs"));
+    assert_eq!(got, vec![(RuleId::UnsafeAudit, 6)]);
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let got = lint_fixture("clean.rs", include_str!("fixtures/clean.rs"));
+    assert_eq!(got, Vec::new());
+}
+
+#[test]
+fn violations_vanish_outside_output_crates_for_r1_only() {
+    // R1 is scoped to output-producing crates; R2/R3/R5 apply everywhere.
+    let r1 = lint_source(
+        "crates/sim/src/x.rs",
+        "sim",
+        FileKind::Lib,
+        include_str!("fixtures/r1_unordered_iteration.rs"),
+    );
+    assert!(r1.is_empty());
+    let r2 = lint_source(
+        "crates/sim/src/x.rs",
+        "sim",
+        FileKind::Lib,
+        include_str!("fixtures/r2_time_arithmetic.rs"),
+    );
+    assert_eq!(r2.len(), 2);
+}
+
+#[test]
+fn r4_does_not_apply_to_binaries() {
+    let got = lint_source(
+        "crates/cli/src/main.rs",
+        "cli",
+        FileKind::Bin,
+        include_str!("fixtures/r4_panic_surface.rs"),
+    );
+    assert!(got.is_empty());
+}
+
+/// End-to-end ratchet semantics through `msc_lint::run` on a materialized
+/// mini-workspace: exact baseline passes, over-baseline gates, and an
+/// over-generous (stale) baseline gates too.
+#[test]
+fn baseline_ratchet_round_trip() {
+    let root = std::env::temp_dir().join(format!("msc-lint-fixture-{}", std::process::id()));
+    let src = root.join("crates/core/src");
+    std::fs::create_dir_all(&src).expect("fixture tmp dir");
+    // The driver also walks the workspace-root crate's `src/` tree.
+    std::fs::create_dir_all(root.join("src")).expect("fixture root src");
+    std::fs::write(
+        src.join("lib.rs"),
+        include_str!("fixtures/r4_panic_surface.rs"),
+    )
+    .expect("fixture lib.rs");
+
+    let exact = Baseline::parse("[r4]\n\"crates/core/src/lib.rs\" = 2\n").expect("baseline");
+    let run = msc_lint::run(&root, &exact).expect("lint run");
+    assert_eq!(run.files, 1);
+    assert!(
+        run.findings.is_empty(),
+        "exact baseline must pass: {:?}",
+        run.findings
+    );
+    assert_eq!(run.r4_counts.get("crates/core/src/lib.rs"), Some(&2));
+
+    let tight = Baseline::parse("[r4]\n\"crates/core/src/lib.rs\" = 1\n").expect("baseline");
+    let run = msc_lint::run(&root, &tight).expect("lint run");
+    assert_eq!(run.findings.len(), 1);
+    assert_eq!(run.findings[0].rule, RuleId::PanicSurface);
+    assert!(run.findings[0].message.contains("baseline allows 1"));
+
+    let stale = Baseline::parse("[r4]\n\"crates/core/src/lib.rs\" = 3\n").expect("baseline");
+    let run = msc_lint::run(&root, &stale).expect("lint run");
+    assert_eq!(run.findings.len(), 1);
+    assert!(run.findings[0].message.contains("stale baseline"));
+
+    std::fs::remove_dir_all(&root).expect("fixture tmp cleanup");
+}

@@ -1,0 +1,18 @@
+//! Fixture: R1 — HashMap/HashSet iteration order leaking into output.
+//! Expected findings: lines 8 and 16.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn report(scores: &HashMap<String, f64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (name, s) in scores {
+        out.push(format!("{name}={s}"));
+    }
+    out
+}
+
+pub fn first_seen(seen: &HashSet<u16>) -> Option<u16> {
+    let mut it = Vec::new();
+    seen.iter().for_each(|&v| it.push(v));
+    it.first().copied()
+}

@@ -1,0 +1,14 @@
+//! Fixture: R2 — bare arithmetic on timestamp-suffixed bindings.
+//! Expected findings: lines 6 and 12.
+
+/// Dwell time between receive and transmit.
+pub fn dwell(rx_ts: u64, tx_ts: u64) -> u64 {
+    tx_ts - rx_ts
+}
+
+/// Advances a deadline in place.
+pub fn advance(deadline_ns: u64, step: u64) -> u64 {
+    let mut t_ns = deadline_ns;
+    t_ns += step;
+    t_ns
+}

@@ -1,0 +1,12 @@
+//! Fixture: R3 — lossy narrowing casts on wire-format quantities.
+//! Expected findings: lines 6 and 11.
+
+/// Packs a batch length into the wire byte.
+pub fn pack_len(batch_len: usize) -> u8 {
+    batch_len as u8
+}
+
+/// Truncates an identifier counter to an IPID.
+pub fn next_ipid(ipid_counter: u64) -> u16 {
+    ipid_counter as u16
+}

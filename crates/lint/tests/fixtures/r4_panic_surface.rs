@@ -1,0 +1,22 @@
+//! Fixture: R4 — panic surface in library code (baselined, not zero-burn).
+//! Expected sites: lines 6 and 11; the test-module unwrap is exempt.
+
+/// Looks up a required entry.
+pub fn must_get(v: &[u32], i: usize) -> u32 {
+    *v.get(i).unwrap()
+}
+
+/// Parses a known-good literal.
+pub fn parse_fixed(s: &str) -> u64 {
+    s.parse().expect("fixture literal")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::parse_fixed("7"), 7);
+        let x: Option<u8> = Some(3);
+        assert_eq!(x.unwrap(), 3);
+    }
+}

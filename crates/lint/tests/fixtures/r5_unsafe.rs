@@ -1,0 +1,7 @@
+//! Fixture: R5 — `unsafe` without a `// SAFETY:` justification.
+//! Expected finding: line 6.
+
+/// Reads the first element without a bounds check.
+pub fn first_unchecked(v: &[u32]) -> u32 {
+    unsafe { *v.get_unchecked(0) }
+}

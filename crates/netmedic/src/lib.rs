@@ -26,6 +26,8 @@
 //! propagates milliseconds later (Fig. 15) fall outside any single good
 //! window size.
 
+#![forbid(unsafe_code)]
+
 pub mod diagnose;
 pub mod perfsight;
 pub mod state;

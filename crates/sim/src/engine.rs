@@ -255,7 +255,7 @@ impl Simulation {
     /// Runs the simulation over `packets` (must be sorted by `created_at`
     /// with contiguous ascending ids, as produced by
     /// `nf_traffic::Schedule::finalize`).
-    pub fn run(mut self, packets: Vec<Packet>) -> SimOutput {
+    pub fn run(mut self, packets: &[Packet]) -> SimOutput {
         let base_id = packets.first().map_or(0, |p| p.id.0);
         debug_assert!(packets
             .windows(2)
@@ -414,7 +414,7 @@ impl Simulation {
         let st = &mut self.nfs[idx];
         st.stats.batches += 1;
         st.stats.processed += batch.len() as u64;
-        st.stats.busy_ns += service;
+        st.stats.busy_ns = st.stats.busy_ns.saturating_add(service);
         st.busy = true;
         st.in_flight = batch.into_iter().map(|q| (q, at)).collect();
         let _ = (base_id, fates); // hop records are written at batch_done
@@ -425,7 +425,7 @@ impl Simulation {
         let idx = nf.0 as usize;
         if let Some(ev_idx) = self.nfs[idx].last_bug_trigger {
             if let InjectedEvent::BugTrigger { window, .. } = &mut self.journal.events[ev_idx] {
-                if at <= window.end + self.cfg.bug_merge_gap_ns {
+                if at <= window.end.saturating_add(self.cfg.bug_merge_gap_ns) {
                     window.end = window.end.max(done);
                     return;
                 }
@@ -480,7 +480,7 @@ impl Simulation {
                         self.deliver(d, &group, at, base_id, fates);
                     } else {
                         self.schedule(
-                            at + self.cfg.link_delay_ns,
+                            at.saturating_add(self.cfg.link_delay_ns),
                             EventKind::Arrive { nf: d, group },
                         );
                     }
@@ -543,7 +543,7 @@ mod tests {
     fn packets_traverse_the_chain() {
         let (t, cfgs) = chain2();
         let sim = Simulation::new(t, cfgs, SimConfig::default());
-        let out = sim.run(packets(10, 10_000)); // slow arrivals, no queueing
+        let out = sim.run(&packets(10, 10_000)); // slow arrivals, no queueing
         assert_eq!(out.fates.len(), 10);
         for f in &out.fates {
             assert!(matches!(f.outcome, PacketOutcome::Delivered(_)), "{f:?}");
@@ -560,7 +560,7 @@ mod tests {
         let (t, cfgs) = chain2();
         let sim = Simulation::new(t, cfgs, SimConfig::default());
         // 1 packet every 100 ns (10 Mpps) into a 2 Mpps NAT: queues, batches.
-        let out = sim.run(packets(500, 100));
+        let out = sim.run(&packets(500, 100));
         assert!(
             out.nf_stats[0].mean_batch() > 8.0,
             "{}",
@@ -576,7 +576,7 @@ mod tests {
         cfgs[0].queue_capacity = 64;
         let sim = Simulation::new(t, cfgs, SimConfig::default());
         // Line-rate burst of 500 packets into a 64-slot ring.
-        let out = sim.run(packets(500, 10));
+        let out = sim.run(&packets(500, 10));
         assert!(out.nf_stats[0].dropped > 0);
         assert_eq!(
             out.drops.len() as u64,
@@ -608,7 +608,7 @@ mod tests {
             duration: 500 * MICROS,
         });
         // 1 Mpps for 1 ms = 1000 packets; NAT stalls 0.1–0.6 ms.
-        let out = sim.run(packets(1000, 1_000));
+        let out = sim.run(&packets(1000, 1_000));
         // During the stall ~500 packets accumulate.
         assert!(
             out.nf_stats[0].max_queue > 400,
@@ -651,7 +651,7 @@ mod tests {
             id += 1;
             t_ns += 2_000;
         }
-        let out = sim.run(pkts);
+        let out = sim.run(&pkts);
         let trigger = out
             .journal
             .events
@@ -669,7 +669,7 @@ mod tests {
     fn collector_bundle_contains_rx_tx_and_exit_flows() {
         let (t, cfgs) = chain2();
         let sim = Simulation::new(t, cfgs, SimConfig::default());
-        let out = sim.run(packets(20, 10_000));
+        let out = sim.run(&packets(20, 10_000));
         let nat = out.bundle.log(NfId(0));
         let vpn = out.bundle.log(NfId(1));
         assert_eq!(nat.rx.iter().map(|b| b.len()).sum::<usize>(), 20);
@@ -686,7 +686,7 @@ mod tests {
         let run = || {
             let (t, cfgs) = chain2();
             let sim = Simulation::new(t, cfgs, SimConfig::default());
-            sim.run(packets(200, 300)).bundle
+            sim.run(&packets(200, 300)).bundle
         };
         assert_eq!(run(), run());
     }
@@ -703,7 +703,7 @@ mod tests {
             },
         );
         // Packets arrive every 100 µs; only the first is processed by 50 µs.
-        let out = sim.run(packets(5, 100_000));
+        let out = sim.run(&packets(5, 100_000));
         let delivered = out
             .fates
             .iter()
@@ -728,7 +728,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let out = sim.run(packets(1, 0));
+        let out = sim.run(&packets(1, 0));
         // 500 (NAT) + 1000 (link) + 800 (VPN) + 16 (collector) = 2316.
         assert_eq!(out.fates[0].latency().unwrap(), 2316);
     }
@@ -779,7 +779,7 @@ mod more_tests {
                 Packet::new(i, flow, 64, i * 100)
             })
             .collect();
-        let out = sim.run(packets);
+        let out = sim.run(&packets);
         // Per-VPN rx order equals the NAT's per-VPN tx order.
         for vpn in [1u16, 2] {
             let nat_tx: Vec<u16> = out
@@ -820,7 +820,7 @@ mod more_tests {
         let packets: Vec<Packet> = (0..100u64)
             .map(|i| Packet::new(i, flow, 64, 50 * MICROS + i * 1_000))
             .collect();
-        let out = sim.run(packets);
+        let out = sim.run(&packets);
         // Packets arriving at 150 µs wait until the merged window ends at
         // 450 µs.
         let victim = out
@@ -843,7 +843,7 @@ mod more_tests {
         let mut sim = Simulation::new(t, cfgs, SimConfig::default());
         let flow = FiveTuple::new(9, 9, 9, 9, Proto::UDP);
         sim.journal_burst(vec![flow], Interval::new(10, 20));
-        let out = sim.run(vec![Packet::new(0, flow, 64, 0)]);
+        let out = sim.run(&[Packet::new(0, flow, 64, 0)]);
         match &out.journal.events[0] {
             InjectedEvent::Burst { flows, window } => {
                 assert_eq!(flows, &vec![flow]);
@@ -868,7 +868,7 @@ mod more_tests {
         let packets: Vec<Packet> = (0..50u64)
             .map(|i| Packet::new(i, flow, 64, i * 1_000))
             .collect();
-        let out = sim.run(packets);
+        let out = sim.run(&packets);
         assert!(out.fates.is_empty());
         assert_eq!(out.bundle.source_flows.len(), 50);
         assert_eq!(out.nf_stats[0].processed, 50);
@@ -886,7 +886,7 @@ mod more_tests {
             },
         );
         let flow = FiveTuple::new(1, 2, 3, 4, Proto::UDP);
-        let out = sim.run(vec![Packet::new(0, flow, 64, 1_000)]);
+        let out = sim.run(&[Packet::new(0, flow, 64, 1_000)]);
         // Ground truth on the true clock.
         assert_eq!(out.fates[0].hops[0].read_at, 1_000);
         // Collector records on the skewed clock + epoch.

@@ -11,7 +11,7 @@ use nf_types::{FiveTuple, FlowAggregate, Interval, Nanos, NfId, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// A fault to inject into the simulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub enum Fault {
     /// The NF's poll loop stalls for `[at, at + duration)` — a CPU
     /// interrupt / context switch (§6.2 injects 500–1000 µs).

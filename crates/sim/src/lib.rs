@@ -17,6 +17,8 @@
 //! journal) is recorded *next to* the collector output and never shown to
 //! the diagnosis pipeline — it is only used for scoring accuracy.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod faults;
 pub mod nf;

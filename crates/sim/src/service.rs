@@ -75,7 +75,7 @@ impl ServiceModel {
         }
         let mut total = cost.round() as Nanos;
         if self.spike_prob > 0.0 && rng.gen_bool(self.spike_prob) {
-            total += self.spike_ns;
+            total = total.saturating_add(self.spike_ns);
         }
         total.max(1)
     }

@@ -22,6 +22,8 @@
 //! *queuing periods* inferred from the batch-size signal (a read of fewer
 //! than [`msc_collector::MAX_BATCH`] packets means the ring was drained).
 
+#![forbid(unsafe_code)]
+
 pub mod matching;
 pub mod reconstruct;
 pub mod skew;

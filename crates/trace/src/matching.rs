@@ -209,7 +209,7 @@ impl EdgeStream {
     #[inline]
     fn in_window(&self, pos: usize, read_ts: Nanos, cfg: &MatchConfig) -> Option<usize> {
         let sent = self.ts[pos];
-        if sent <= read_ts + cfg.negative_slack_ns
+        if sent <= read_ts.saturating_add(cfg.negative_slack_ns)
             && read_ts.saturating_sub(sent) <= cfg.delay_bound_ns
         {
             Some(pos)
@@ -324,7 +324,7 @@ pub fn match_downstream(
                 }
             }
         }
-        return finish(upstreams, edges, rx_origin, stats);
+        return finish(upstreams, &edges, rx_origin, stats);
     }
 
     for (r_idx, r) in rx.iter().enumerate() {
@@ -384,14 +384,14 @@ pub fn match_downstream(
         stats.matched += 1;
     }
 
-    finish(upstreams, edges, rx_origin, stats)
+    finish(upstreams, &edges, rx_origin, stats)
 }
 
 /// The shared tail of [`match_downstream`]: classify every edge position
 /// and assemble the result.
 fn finish(
     upstreams: Vec<NodeId>,
-    edges: Vec<EdgeStream>,
+    edges: &[EdgeStream],
     rx_origin: Vec<Option<(NodeId, usize)>>,
     mut stats: MatchStats,
 ) -> EdgeMatch {
@@ -400,7 +400,7 @@ fn finish(
     // positions at or past the cursor are unresolved. Slot order is the
     // upstream build order, so stats accumulate exactly as before.
     let mut edge_outcome: Vec<Vec<MatchOutcome>> = Vec::with_capacity(edges.len());
-    for e in &edges {
+    for e in edges {
         let outcomes: Vec<MatchOutcome> = e
             .matched
             .iter()

@@ -441,6 +441,7 @@ pub fn assemble(
         traces.push(ReconstructedTrace {
             flow: s.flow,
             emitted_at: s.ts,
+            // lint: lossy-cast-ok(the hop arena is u32-indexed by design; 4B hops is ~100x the largest experiment)
             hops: hop_start..hops.len() as u32,
             outcome: trace_outcome,
         });

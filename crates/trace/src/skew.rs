@@ -198,6 +198,7 @@ fn edge_residual(
         let Some(times) = rx_by_ipid.get(&ipid) else {
             continue;
         };
+        // lint: time-arith-ok(search_ns is already i64; both sides of the comparison are signed deltas)
         let lo = times.partition_point(|&t| (t as i64) < tx_ts as i64 - search_ns);
         for &t in &times[lo..] {
             let d = t as i64 - tx_ts as i64;
@@ -216,7 +217,10 @@ fn edge_residual(
     }
     let n_bins = (2 * search_ns / bin_ns) as usize;
     let noise = deltas.len() / n_bins.max(1) + 1;
-    let (&peak_bin, &peak_n) = bins.iter().max_by_key(|(_, &n)| n)?;
+    // Max over the composite key (count, bin): equal counts are broken by
+    // the bin value, so the winner is independent of HashMap order.
+    // lint: order-insensitive(max over the total key (count, bin) — tied counts resolve to the largest bin)
+    let (&peak_bin, &peak_n) = bins.iter().max_by_key(|&(&b, &n)| (n, b))?;
     if peak_n < 4 * noise {
         return None; // no coherent spike — refuse rather than guess
     }
@@ -245,7 +249,7 @@ pub fn correct_bundle(bundle: &TraceBundle, offsets: &[TimeDelta]) -> TraceBundl
     let mut out = bundle.clone();
     for log in &mut out.logs {
         let off = offsets.get(log.nf.0 as usize).copied().unwrap_or(0);
-        let fix = |ts: Nanos| -> Nanos { (ts as i64 - off).max(0) as Nanos };
+        let fix = |ts: Nanos| -> Nanos { (ts as i64).saturating_sub(off).max(0) as Nanos };
         for b in &mut log.rx {
             b.ts = fix(b.ts);
         }

@@ -28,7 +28,7 @@ fn reconstruction_matches_ground_truth_on_paper_topology() {
     let sim = Simulation::new(topo.clone(), cfgs, SimConfig::default());
     let packets = caida_schedule(1_200_000.0, 20, 42).finalize(0);
     let n = packets.len();
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
 
     let recon = reconstruct(&topo, &out.bundle, &ReconstructionConfig::default());
     assert_eq!(recon.traces.len(), n);
@@ -86,7 +86,7 @@ fn reconstruction_survives_interrupts_and_drops() {
         duration: 1500 * nf_types::MICROS,
     });
     let packets = caida_schedule(1_600_000.0, 15, 7).finalize(0);
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
     let truth_drops = out.fates.iter().filter(|f| f.dropped()).count();
 
     let recon = reconstruct(&topo, &out.bundle, &ReconstructionConfig::default());
@@ -118,7 +118,7 @@ fn timelines_reflect_queue_buildup_during_interrupt() {
         duration: stall,
     });
     let packets = caida_schedule(1_200_000.0, 10, 11).finalize(0);
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
     let recon = reconstruct(&topo, &out.bundle, &ReconstructionConfig::default());
     let tls = Timelines::build(&recon);
 
@@ -155,10 +155,12 @@ fn bytes_per_packet_is_near_two_at_saturation() {
     let (topo, cfgs) = s.build();
     let sim = Simulation::new(topo.clone(), cfgs, SimConfig::default());
     let packets = caida_schedule(2_200_000.0, 20, 99).finalize(0);
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
     let nat_log = out.bundle.log(nat);
-    let bpp =
-        msc_collector::encode_nf_log(nat_log).len() as f64 / nat_log.packet_appearances() as f64;
+    let bpp = msc_collector::encode_nf_log(nat_log)
+        .expect("encodable")
+        .len() as f64
+        / nat_log.packet_appearances() as f64;
     assert!(bpp < 3.0, "interior NF: {bpp:.2} B/packet-appearance");
     assert!(bpp > 1.5, "suspiciously small: {bpp:.2}");
 
@@ -169,7 +171,7 @@ fn bytes_per_packet_is_near_two_at_saturation() {
     let cfgs2 = paper_nf_configs(&topo2);
     let sim2 = Simulation::new(topo2, cfgs2, SimConfig::default());
     let packets2 = caida_schedule(1_200_000.0, 20, 99).finalize(0);
-    let out2 = sim2.run(packets2);
+    let out2 = sim2.run(&packets2);
     assert!(out2.bundle.bytes_per_packet() < 10.0);
 }
 
@@ -192,7 +194,7 @@ fn skew_estimation_recovers_reconstruction_on_multi_server_deployments() {
         },
     );
     let packets = caida_schedule(1_200_000.0, 20, 31).finalize(0);
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
 
     // Estimate offsets from the skewed records alone and correct.
     let est = estimate_offsets_refined(&topo, &out.bundle, &SkewConfig::default());

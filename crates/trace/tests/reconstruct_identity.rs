@@ -35,7 +35,7 @@ fn reconstruction_is_bit_identical_for_any_thread_count() {
                 duration: MILLIS,
             });
         }
-        let out = sim.run(packets);
+        let out = sim.run(&packets);
 
         let seq = reconstruct(
             &topology,

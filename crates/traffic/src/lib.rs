@@ -18,6 +18,8 @@
 //! concrete [`nf_types::Packet`]s (with unique ids and realistic colliding IPIDs) via
 //! [`Schedule::finalize`].
 
+#![forbid(unsafe_code)]
+
 pub mod distributions;
 pub mod generator;
 pub mod schedule;

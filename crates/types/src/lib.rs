@@ -9,6 +9,8 @@
 //! The crate is deliberately dependency-light (only `serde`) so that every
 //! other crate in the workspace can depend on it without cycles.
 
+#![forbid(unsafe_code)]
+
 pub mod flow;
 pub mod nf;
 pub mod packet;

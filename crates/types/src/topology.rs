@@ -206,6 +206,7 @@ pub struct TopologyBuilder {
 impl TopologyBuilder {
     /// Adds an NF instance and returns its id.
     pub fn add_nf(&mut self, kind: NfKind, name: impl Into<String>) -> NfId {
+        // lint: lossy-cast-ok(topologies hold tens of NFs; NfId is u16 by wire-format design)
         let id = NfId(self.nfs.len() as u16);
         self.nfs.push(NfInfo {
             id,

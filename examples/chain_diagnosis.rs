@@ -60,7 +60,7 @@ fn main() {
         matches: bug_rule,
         per_packet_ns: 20 * MICROS,
     });
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
 
     // Step 1 of the blame game: "is the VPN slow?" — victims DO appear at
     // the VPN (they wait in its queue behind the firewall's bursts).

@@ -36,7 +36,7 @@ fn main() {
         at: 10 * MILLIS,
         duration: MILLIS,
     });
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
     println!(
         "simulated {} packets; p99 latency {:.1} µs, max {:.1} µs",
         out.fates.len(),

@@ -43,7 +43,7 @@ fn main() {
         at: 40 * MILLIS,
         duration: 4 * MILLIS,
     });
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
 
     // Diagnose, then pick a victim at the VPN observed well after the
     // interrupt ended (44 ms) — a packet that never saw the interrupt.

@@ -46,7 +46,7 @@
 //! let packets = gen.generate(0, 20 * MILLIS).finalize(0);
 //! let mut sim = Simulation::new(topology.clone(), nf_configs, SimConfig::default());
 //! sim.add_fault(Fault::Interrupt { nf: nat, at: 5 * MILLIS, duration: MILLIS });
-//! let out = sim.run(packets);
+//! let out = sim.run(&packets);
 //!
 //! // Offline: reconstruct traces from the collector bundle and diagnose.
 //! let recon = reconstruct(&topology, &out.bundle, &ReconstructionConfig::default());
@@ -55,6 +55,8 @@
 //! let diagnoses = engine.diagnose_all(&recon, &timelines);
 //! assert!(!diagnoses.is_empty());
 //! ```
+
+#![forbid(unsafe_code)]
 
 pub use autofocus as patterns;
 pub use microscope as diagnosis;

@@ -28,7 +28,7 @@ fn run_16nf(rate: f64, millis: u64, seed: u64) -> (Topology, Vec<f64>, Reconstru
         at: (millis / 2) * MILLIS,
         duration: MILLIS,
     });
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
     let recon = reconstruct(&topology, &out.bundle, &ReconstructionConfig::default());
     let timelines = Timelines::build(&recon);
     (topology, rates, recon, timelines)

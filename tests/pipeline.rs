@@ -33,7 +33,7 @@ fn run_paper_chain(
     for f in faults {
         sim.add_fault(f);
     }
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
     let recon = reconstruct(&topology, &out.bundle, &ReconstructionConfig::default());
     let timelines = Timelines::build(&recon);
     (topology, rates, out, recon, timelines)
@@ -130,7 +130,7 @@ fn burst_victims_blame_the_source_and_patterns_name_the_flow() {
     let b = burst(bf, 10 * MILLIS, 2000, 150, 64);
     let packets = Schedule::merge([bg, b]).finalize(0);
     let sim = Simulation::new(topology.clone(), cfgs, SimConfig::default());
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
     let recon = reconstruct(&topology, &out.bundle, &ReconstructionConfig::default());
     let timelines = Timelines::build(&recon);
     let engine = Microscope::new(topology.clone(), rates, DiagnosisConfig::default());
@@ -311,7 +311,7 @@ fn collector_off_means_no_diagnosis_data_and_no_overhead() {
             ..Default::default()
         },
     );
-    let out = sim.run(packets);
+    let out = sim.run(&packets);
     assert_eq!(out.bundle.packet_appearances(), 0);
     assert!(out.bundle.source_flows.is_empty());
     let recon = reconstruct(&topology, &out.bundle, &ReconstructionConfig::default());

@@ -74,7 +74,7 @@ proptest! {
     /// The wire encoding round-trips every well-formed log.
     #[test]
     fn encode_decode_round_trip(log in arb_nf_log()) {
-        let bytes = encode_nf_log(&log);
+        let bytes = encode_nf_log(&log).expect("encodes");
         let back = decode_nf_log(&bytes).expect("decodes");
         prop_assert_eq!(back, log);
     }
@@ -239,7 +239,7 @@ proptest! {
         );
         let packets = gen.generate(0, 2 * MILLIS).finalize(0);
         let sim = Simulation::new(topo.clone(), cfgs, SimConfig { seed, ..Default::default() });
-        let out = sim.run(packets);
+        let out = sim.run(&packets);
         let recon = reconstruct(&topo, &out.bundle, &ReconstructionConfig::default());
         prop_assert_eq!(recon.report.flow_mismatches, 0);
         for (tr, fate) in recon.traces.iter().zip(&out.fates) {
