@@ -1,0 +1,179 @@
+//! Model-checker cost trajectory: how much state-space the `msc-model`
+//! interleaving checks explore, how hard the state-hash pruning works, and
+//! how long the exhaustive runs take on this machine.
+//!
+//! Runs standalone (`harness = false`): `cargo bench --bench model` writes
+//! `results/BENCH_model.json` at the workspace root; without `--bench` in
+//! the arguments it prints the same JSON and skips the file. Every
+//! scenario mirrors one of the checked-in model tests (see
+//! `crates/collector/tests/model_ring.rs` and
+//! `crates/core/tests/model_cache.rs`), so these numbers track the cost of
+//! exactly the proofs CI runs — a regression here means the concurrency
+//! surface grew or the pruning degraded, both worth noticing in review.
+
+use microscope::{DiagnosisCacheCore, DiagnosisStep};
+use msc_collector::SpscRingCore;
+use msc_model::shim::ModelPrims;
+use msc_model::{check, Config, Stats};
+use msc_trace::QueuingPeriod;
+use nf_types::{Interval, NfId};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+type ModelRing = SpscRingCore<u64, ModelPrims>;
+type ModelCache = DiagnosisCacheCore<ModelPrims>;
+
+fn dummy_step(n: u64) -> DiagnosisStep {
+    DiagnosisStep {
+        qp: QueuingPeriod {
+            interval: Interval::new(0, n),
+            preset: 0..0,
+            n_arrived: n,
+            n_processed: 0,
+        },
+        scores: microscope::LocalScores { si: 0.0, sp: 0.0 },
+        preset_flows: Vec::new(),
+        shares: OnceLock::new(),
+    }
+}
+
+fn ring_handoff() {
+    let ring = Arc::new(ModelRing::new(2));
+    let producer = {
+        let ring = Arc::clone(&ring);
+        msc_model::thread::spawn(move || {
+            assert!(ring.push(1).is_ok());
+            assert!(ring.push(2).is_ok());
+        })
+    };
+    let mut got = Vec::new();
+    for _ in 0..2 {
+        if let Some(v) = ring.pop() {
+            got.push(v);
+        }
+    }
+    producer.join();
+    while let Some(v) = ring.pop() {
+        got.push(v);
+    }
+    assert_eq!(got, vec![1, 2]);
+}
+
+fn ring_wraparound() {
+    let ring = Arc::new(ModelRing::new(1));
+    let producer = {
+        let ring = Arc::clone(&ring);
+        msc_model::thread::spawn(move || {
+            let mut pushed = Vec::new();
+            for v in 1..=3u64 {
+                if ring.push(v).is_ok() {
+                    pushed.push(v);
+                }
+            }
+            pushed
+        })
+    };
+    let mut got = Vec::new();
+    for _ in 0..3 {
+        if let Some(v) = ring.pop() {
+            got.push(v);
+        }
+    }
+    let pushed = producer.join();
+    while let Some(v) = ring.pop() {
+        got.push(v);
+    }
+    assert_eq!(got, pushed);
+}
+
+fn cache_same_key() {
+    let cache = Arc::new(ModelCache::with_shards(1));
+    let key = (NfId(7), 1_000, 0);
+    let racer = {
+        let cache = Arc::clone(&cache);
+        msc_model::thread::spawn(move || cache.step(key, || dummy_step(7)).qp.n_arrived)
+    };
+    let mine = cache.step(key, || dummy_step(7)).qp.n_arrived;
+    assert_eq!((mine, racer.join()), (7, 7));
+    assert_eq!(cache.stats().entries, 1);
+}
+
+/// One exhaustive exploration, timed. Returns the stats and wall seconds.
+fn explore(f: impl Fn() + Send + Sync + 'static) -> (Stats, f64) {
+    let t0 = Instant::now();
+    let stats = match check(Config::default(), f) {
+        Ok(s) => s,
+        Err(v) => panic!("model scenario must verify, found: {v}"),
+    };
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(stats.complete, "exploration must exhaust: {stats:?}");
+    (stats, wall)
+}
+
+fn row(name: &str, stats: &Stats, wall_s: f64) -> String {
+    format!(
+        "    {{\"scenario\": \"{name}\", \"interleavings\": {}, \"pruned\": {}, \
+         \"prune_rate\": {:.4}, \"decision_points\": {}, \"distinct_states\": {}, \
+         \"max_depth\": {}, \"complete\": {}, \"wall_ms\": {:.3}}}",
+        stats.interleavings,
+        stats.pruned,
+        stats.prune_rate(),
+        stats.decision_points,
+        stats.distinct_states,
+        stats.max_depth,
+        stats.complete,
+        wall_s * 1e3
+    )
+}
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--bench");
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let scenarios: Vec<(&str, fn())> = vec![
+        ("ring_spsc_handoff", ring_handoff),
+        ("ring_wraparound_full", ring_wraparound),
+        ("cache_same_key_race", cache_same_key),
+    ];
+    let mut rows = Vec::new();
+    for (name, f) in scenarios {
+        let (stats, wall) = explore(f);
+        eprintln!(
+            "{name}: {} interleavings, {} pruned ({:.1}%), depth {}, {:.1} ms",
+            stats.interleavings,
+            stats.pruned,
+            stats.prune_rate() * 100.0,
+            stats.max_depth,
+            wall * 1e3
+        );
+        rows.push(row(name, &stats, wall));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"model\",\n  \
+         \"hardware\": {{\"available_parallelism\": {cpus}}},\n  \
+         \"all_complete\": true,\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+
+    if measure {
+        let path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_model.json");
+        match path.parent() {
+            Some(dir) => {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    panic!("mkdir {}: {e}", dir.display());
+                }
+            }
+            None => unreachable!("bench result path always has a parent"),
+        }
+        if let Err(e) = std::fs::write(&path, &json) {
+            panic!("write {}: {e}", path.display());
+        }
+        eprintln!("wrote {}", path.display());
+    } else {
+        eprintln!("smoke mode (no --bench): skipping results/BENCH_model.json");
+    }
+    print!("{json}");
+}

@@ -25,4 +25,4 @@ pub use bundle_io::{load_bundle, read_bundle, save_bundle, write_bundle, BundleI
 pub use collector::{Collector, CollectorConfig, NfLog, TraceBundle};
 pub use encode::{decode_nf_log, encode_nf_log, EncodeError};
 pub use records::{FlowRecord, PacketMeta, QueueRef, RxBatch, TxBatch, MAX_BATCH};
-pub use ring::{Dumper, SpscRing};
+pub use ring::{Dumper, SpscRing, SpscRingCore};

@@ -6,48 +6,61 @@
 //! one acquire load, one release store. When the ring is full the record is
 //! dropped and counted — exactly the behaviour you want on a data plane
 //! (never block the NF for telemetry).
+//!
+//! The core is generic over [`msc_model::prims::Prims`]: production code
+//! uses the [`SpscRing`] alias (real `std::sync::atomic`, zero overhead),
+//! while `tests/model_ring.rs` instantiates [`SpscRingCore`] with
+//! `ModelPrims` and exhaustively model-checks the acquire/release handoff
+//! (see DESIGN.md §7). Every memory-ordering choice below carries its
+//! justification; `msc-lint` R6 enforces that for the `Relaxed` sites.
 
-use std::cell::UnsafeCell;
+use msc_model::prims::{Atomic, Prims, RawCell, StdPrims};
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
+
+/// The production ring: [`SpscRingCore`] over real `std::sync` primitives.
+pub type SpscRing<T> = SpscRingCore<T, StdPrims>;
 
 /// Fixed-capacity SPSC ring. `T` moves through the ring by value.
 ///
-/// Safety contract: at most one thread calls [`push`](SpscRing::push) and at
-/// most one (other) thread calls [`pop`](SpscRing::pop) concurrently. The
-/// type is `Sync` so it can be shared via `Arc`.
-pub struct SpscRing<T> {
-    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+/// Safety contract: at most one thread calls [`push`](SpscRingCore::push)
+/// and at most one (other) thread calls [`pop`](SpscRingCore::pop)
+/// concurrently. The type is `Sync` so it can be shared via `Arc`.
+pub struct SpscRingCore<T, P: Prims> {
+    buf: Box<[P::Cell<MaybeUninit<T>>]>,
     /// Next slot to write (only advanced by the producer).
-    head: AtomicUsize,
+    head: P::AUsize,
     /// Next slot to read (only advanced by the consumer).
-    tail: AtomicUsize,
+    tail: P::AUsize,
     /// Records dropped because the ring was full.
-    dropped: AtomicU64,
+    dropped: P::AU64,
     capacity: usize,
 }
 
 // SAFETY: access to each slot is handed off between producer and consumer
-// through the head/tail acquire/release protocol below.
-unsafe impl<T: Send> Sync for SpscRing<T> {}
+// through the head/tail acquire/release protocol below; the model tests
+// check exactly this handoff for races under `ModelPrims`.
+unsafe impl<T: Send, P: Prims> Sync for SpscRingCore<T, P> {}
 // SAFETY: the ring exclusively owns its slots; moving the whole ring to
 // another thread moves the buffered `T` values with it, which `T: Send`
 // permits (no thread-affine state is held).
-unsafe impl<T: Send> Send for SpscRing<T> {}
+unsafe impl<T: Send, P: Prims> Send for SpscRingCore<T, P> {}
 
-impl<T> SpscRing<T> {
+impl<T, P: Prims> SpscRingCore<T, P> {
     /// Creates a ring that can hold `capacity` elements. Panics if
     /// `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ring capacity must be positive");
-        let buf: Vec<UnsafeCell<MaybeUninit<T>>> = (0..capacity + 1)
-            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        let buf: Vec<P::Cell<MaybeUninit<T>>> = (0..capacity + 1)
+            .map(|_| {
+                <P::Cell<MaybeUninit<T>> as RawCell<MaybeUninit<T>>>::new(MaybeUninit::uninit())
+            })
             .collect();
         Self {
             buf: buf.into_boxed_slice(),
-            head: AtomicUsize::new(0),
-            tail: AtomicUsize::new(0),
-            dropped: AtomicU64::new(0),
+            head: P::AUsize::new(0),
+            tail: P::AUsize::new(0),
+            dropped: P::AU64::new(0),
             capacity: capacity + 1,
         }
     }
@@ -65,38 +78,64 @@ impl<T> SpscRing<T> {
     /// Producer side: enqueue `v`. Returns `Err(v)` (and bumps the drop
     /// counter) when the ring is full. Wait-free.
     pub fn push(&self, v: T) -> Result<(), T> {
+        // ordering: head is written only by this thread (single producer),
+        // so a relaxed load always observes its own latest value.
         let head = self.head.load(Ordering::Relaxed);
         let next = self.next(head);
+        // The Acquire pairs with the consumer's Release store of tail:
+        // observing the advanced tail proves the consumer has finished
+        // reading the slot we are about to overwrite.
         if next == self.tail.load(Ordering::Acquire) {
+            // ordering: pure event counter; no data is published through it
+            // and only the eventual total is read.
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return Err(v);
         }
-        // SAFETY: slot `head` is owned by the producer until the release
-        // store below publishes it.
-        unsafe {
-            (*self.buf[head].get()).write(v);
-        }
+        self.buf[head].with_mut(|slot| {
+            // SAFETY: slot `head` is owned by the producer until the
+            // Release store below publishes it; the model race detector
+            // verifies this handoff under `ModelPrims`.
+            unsafe {
+                (*slot).write(v);
+            }
+        });
+        // The Release publishes the slot write above to the consumer's
+        // Acquire load of head.
         self.head.store(next, Ordering::Release);
         Ok(())
     }
 
     /// Consumer side: dequeue one element if available. Wait-free.
     pub fn pop(&self) -> Option<T> {
+        // ordering: tail is written only by this thread (single consumer),
+        // so a relaxed load always observes its own latest value.
         let tail = self.tail.load(Ordering::Relaxed);
+        // The Acquire pairs with the producer's Release store of head: it
+        // makes the slot write visible before we read the slot.
         if tail == self.head.load(Ordering::Acquire) {
             return None;
         }
-        // SAFETY: the producer's release store made this slot visible, and
-        // the producer will not touch it again until we advance tail.
-        let v = unsafe { (*self.buf[tail].get()).assume_init_read() };
+        let v = self.buf[tail].with(|slot| {
+            // SAFETY: the producer's Release store of head made this slot's
+            // initialization visible to the Acquire load above, and the
+            // producer will not touch the slot again until tail advances.
+            unsafe { (*slot).assume_init_read() }
+        });
+        // The Release hands the emptied slot back to the producer's
+        // Acquire load of tail.
         self.tail.store(self.next(tail), Ordering::Release);
         Some(v)
     }
 
     /// Number of elements currently queued (approximate under concurrency).
     pub fn len(&self) -> usize {
-        let head = self.head.load(Ordering::Acquire);
-        let tail = self.tail.load(Ordering::Acquire);
+        // ordering: `len` is documented as approximate; both indexes are
+        // single-writer and individually monotone (mod wrap), so stale
+        // values only shift the estimate — no edge needs ordering here.
+        let head = self.head.load(Ordering::Relaxed);
+        // ordering: same as head above; approximate read of a
+        // single-writer index.
+        let tail = self.tail.load(Ordering::Relaxed);
         if head >= tail {
             head - tail
         } else {
@@ -111,11 +150,13 @@ impl<T> SpscRing<T> {
 
     /// How many records were dropped because the ring was full.
     pub fn dropped(&self) -> u64 {
+        // ordering: counter total only; reading it races with nothing it
+        // is meant to order.
         self.dropped.load(Ordering::Relaxed)
     }
 }
 
-impl<T> Drop for SpscRing<T> {
+impl<T, P: Prims> Drop for SpscRingCore<T, P> {
     fn drop(&mut self) {
         // Drain remaining initialised slots so `T`'s destructors run.
         while self.pop().is_some() {}
@@ -250,6 +291,11 @@ impl<T: Send + 'static> Dumper<T> {
                             drained += 1;
                         }
                         None => {
+                            // The Acquire pairs with the Release store in
+                            // `finish`/`Drop`: seeing `stop` set guarantees
+                            // every push that happened before the stop
+                            // request is visible to the final drain below.
+                            // Relaxed would let the drain miss records.
                             if stop.load(std::sync::atomic::Ordering::Acquire) {
                                 // Final drain: the producer has stopped.
                                 while let Some(v) = ring.pop() {
@@ -279,17 +325,26 @@ impl<T: Send + 'static> Dumper<T> {
     /// Stops the dumper after a final drain and returns how many records it
     /// wrote.
     pub fn finish(mut self) -> u64 {
+        // The Release orders all of the caller's prior pushes before the
+        // flag flip; paired with the dumper's Acquire load above.
         self.stop.store(true, std::sync::atomic::Ordering::Release);
-        self.handle
-            .take()
-            .expect("finish called once")
-            .join()
-            .expect("dumper thread never panics")
+        let Some(handle) = self.handle.take() else {
+            // `finish` consumes self, and `Drop` only runs afterwards, so
+            // the handle is always still present here.
+            unreachable!("dumper handle already taken");
+        };
+        match handle.join() {
+            Ok(drained) => drained,
+            // Propagate a dumper-thread panic (e.g. a panicking sink) into
+            // the caller instead of inventing a count.
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
     }
 }
 
 impl<T: Send + 'static> Drop for Dumper<T> {
     fn drop(&mut self) {
+        // Same pairing as in `finish`; see the comment there.
         self.stop.store(true, std::sync::atomic::Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();

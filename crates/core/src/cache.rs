@@ -20,15 +20,22 @@
 //! recursion driver. Consequently a hit returns exactly the value a miss
 //! would have computed, and the hit/miss interleaving across worker
 //! threads cannot affect any diagnosis, only the counters.
+//!
+//! The concurrent core is generic over [`msc_model::prims::Prims`]:
+//! production uses the [`DiagnosisCache`] alias (real `std::sync`
+//! primitives), while `tests/model_cache.rs` instantiates
+//! [`DiagnosisCacheCore`] with `ModelPrims` and model-checks that shard
+//! insert/lookup races never surface a value under the wrong key (see
+//! DESIGN.md §7).
 
 use crate::local::LocalScores;
 use crate::propagation::UpstreamShare;
+use msc_model::prims::{Atomic, Ordering, Prims, SharedLock, StdPrims};
 use msc_trace::QueuingPeriod;
 use nf_types::{FiveTuple, Nanos, NfId};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock};
 
 /// Cache key: `(nf, anchor timestamp, §7 start threshold)`. Anchors — not
 /// period starts — key the cache because `queuing_period(t)` is resolved
@@ -88,6 +95,10 @@ impl CacheStats {
     }
 }
 
+/// The production cache: [`DiagnosisCacheCore`] over real `std::sync`
+/// primitives.
+pub type DiagnosisCache = DiagnosisCacheCore<StdPrims>;
+
 /// A sharded concurrent map from [`StepKey`] to immutable `Arc`ed
 /// [`DiagnosisStep`]s, shared read-mostly across the diagnosis workers.
 ///
@@ -95,30 +106,44 @@ impl CacheStats {
 /// rarely collide), and entries are inserted with first-write-wins so a
 /// racing duplicate computation is dropped, never swapped in after another
 /// thread already observed the first value.
-pub struct DiagnosisCache {
-    shards: Vec<RwLock<HashMap<StepKey, Arc<DiagnosisStep>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+pub struct DiagnosisCacheCore<P: Prims> {
+    shards: Vec<P::Lock<HashMap<StepKey, Arc<DiagnosisStep>>>>,
+    hits: P::AU64,
+    misses: P::AU64,
 }
 
 const SHARDS: usize = 64;
 
-impl DiagnosisCache {
-    /// An empty cache.
+impl<P: Prims> DiagnosisCacheCore<P> {
+    /// An empty cache with the production shard count.
     pub fn new() -> Self {
+        Self::with_shards(SHARDS)
+    }
+
+    /// An empty cache with `shards` shards. Model tests use a tiny shard
+    /// count to force key collisions into one lock; production always goes
+    /// through [`new`](Self::new).
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards > 0, "cache needs at least one shard");
         Self {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            shards: (0..shards)
+                .map(|_| {
+                    <P::Lock<HashMap<StepKey, Arc<DiagnosisStep>>> as SharedLock<_>>::new(
+                        HashMap::new(),
+                    )
+                })
+                .collect(),
+            hits: P::AU64::new(0),
+            misses: P::AU64::new(0),
         }
     }
 
-    fn shard(&self, key: &StepKey) -> &RwLock<HashMap<StepKey, Arc<DiagnosisStep>>> {
+    fn shard(&self, key: &StepKey) -> &P::Lock<HashMap<StepKey, Arc<DiagnosisStep>>> {
         // Cheap deterministic mix of the key fields; only shard balance
         // depends on it, never output.
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
+        &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
     /// The step for `key`, computing it with `make` on a miss. `make` runs
@@ -126,13 +151,16 @@ impl DiagnosisCache {
     /// of other keys in the same shard.
     pub fn step(&self, key: StepKey, make: impl FnOnce() -> DiagnosisStep) -> Arc<DiagnosisStep> {
         let shard = self.shard(&key);
-        if let Some(step) = shard.read().expect("cache shard poisoned").get(&key) {
+        if let Some(step) = shard.read().get(&key) {
+            // ordering: statistics counter; nothing is published through it
+            // and only the eventual total is read.
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(step);
         }
+        // ordering: statistics counter, as above.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let fresh = Arc::new(make());
-        let mut w = shard.write().expect("cache shard poisoned");
+        let mut w = shard.write();
         // First insert wins: if another thread raced us here, keep its
         // entry (the values are identical anyway; keeping the resident one
         // means every Arc ever handed out aliases a single allocation).
@@ -143,18 +171,16 @@ impl DiagnosisCache {
     /// approximate (but close) under concurrency.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            // ordering: statistics counters; totals only, no ordering role.
             hits: self.hits.load(Ordering::Relaxed),
+            // ordering: as above.
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self
-                .shards
-                .iter()
-                .map(|s| s.read().expect("cache shard poisoned").len() as u64)
-                .sum(),
+            entries: self.shards.iter().map(|s| s.read().len() as u64).sum(),
         }
     }
 }
 
-impl Default for DiagnosisCache {
+impl<P: Prims> Default for DiagnosisCacheCore<P> {
     fn default() -> Self {
         Self::new()
     }
@@ -197,6 +223,16 @@ mod tests {
         let a = cache.step((NfId(0), 1, 0), || dummy_step(1));
         let b = cache.step((NfId(0), 2, 0), || dummy_step(2));
         assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn single_shard_cache_keeps_keys_apart() {
+        let cache: DiagnosisCache = DiagnosisCacheCore::with_shards(1);
+        let a = cache.step((NfId(1), 10, 0), || dummy_step(10));
+        let b = cache.step((NfId(2), 20, 0), || dummy_step(20));
+        assert_eq!(a.qp.n_arrived, 10);
+        assert_eq!(b.qp.n_arrived, 20);
         assert_eq!(cache.stats().entries, 2);
     }
 

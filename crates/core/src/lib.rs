@@ -35,7 +35,7 @@ pub mod propagation;
 pub mod report;
 pub mod victim;
 
-pub use cache::{CacheStats, DiagnosisCache, DiagnosisStep, StepKey};
+pub use cache::{CacheStats, DiagnosisCache, DiagnosisCacheCore, DiagnosisStep, StepKey};
 pub use diagnose::{Culprit, CulpritKind, Diagnosis, DiagnosisConfig, Microscope};
 pub use local::{local_scores, LocalScores};
 pub use misbehaviour::{detect_misbehaviour, Misbehaviour, MisbehaviourConfig};

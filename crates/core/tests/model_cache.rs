@@ -1,0 +1,95 @@
+//! Exhaustive interleaving checks of the diagnosis cache's sharded
+//! insert/lookup protocol, run with `msc-model` shims in place of
+//! `std::sync` (see DESIGN.md §7).
+//!
+//! A single shard (`with_shards(1)`) forces every key through one lock, so
+//! these schedules maximise contention: every read/write interleaving of
+//! two racing threads is explored, and `stats.complete` asserts the
+//! exploration exhausted. The property under test is the one the diagnosis
+//! pipeline relies on for bit-identical output: a lookup never surfaces a
+//! value under the wrong key, no matter how inserts race.
+
+use microscope::{DiagnosisCacheCore, DiagnosisStep};
+use msc_model::model;
+use msc_model::shim::ModelPrims;
+use msc_trace::QueuingPeriod;
+use nf_types::{Interval, NfId};
+use std::sync::{Arc, OnceLock};
+
+type ModelCache = DiagnosisCacheCore<ModelPrims>;
+
+/// A step whose payload encodes `n`, so wrong-key mixups are observable.
+fn step(n: u64) -> DiagnosisStep {
+    DiagnosisStep {
+        qp: QueuingPeriod {
+            interval: Interval::new(0, n),
+            preset: 0..0,
+            n_arrived: n,
+            n_processed: 0,
+        },
+        scores: microscope::LocalScores { si: 0.0, sp: 0.0 },
+        preset_flows: Vec::new(),
+        shares: OnceLock::new(),
+    }
+}
+
+/// Two threads populate *distinct* keys through the same shard lock: each
+/// must read back its own payload in every schedule, and both entries must
+/// be resident afterwards.
+#[test]
+fn racing_inserts_of_distinct_keys_never_cross() {
+    let stats = model(|| {
+        let cache = Arc::new(ModelCache::with_shards(1));
+        let racer = {
+            let cache = Arc::clone(&cache);
+            msc_model::thread::spawn(move || {
+                let a = cache.step((NfId(1), 10, 0), || step(10));
+                a.qp.n_arrived
+            })
+        };
+        let b = cache.step((NfId(2), 20, 0), || step(20));
+        assert_eq!(b.qp.n_arrived, 20, "lookup surfaced the wrong key's value");
+        let a = racer.join();
+        assert_eq!(a, 10, "lookup surfaced the wrong key's value");
+        let s = cache.stats();
+        assert_eq!(s.entries, 2, "distinct keys must not collapse");
+        assert_eq!((s.hits, s.misses), (0, 2));
+    });
+    assert!(stats.complete, "exploration must exhaust: {stats:?}");
+    assert!(
+        stats.interleavings >= 2,
+        "shard lock must branch: {stats:?}"
+    );
+}
+
+/// Two threads race the *same* key: every schedule ends with exactly one
+/// resident entry carrying the key's payload, and the counters account for
+/// both lookups. (First-insert-wins means a racing duplicate computation is
+/// dropped, never swapped in.)
+#[test]
+fn racing_inserts_of_one_key_share_a_single_entry() {
+    let stats = model(|| {
+        let cache = Arc::new(ModelCache::with_shards(1));
+        let key = (NfId(7), 1_000, 0);
+        let racer = {
+            let cache = Arc::clone(&cache);
+            msc_model::thread::spawn(move || cache.step(key, || step(7)).qp.n_arrived)
+        };
+        let mine = cache.step(key, || step(7)).qp.n_arrived;
+        let theirs = racer.join();
+        assert_eq!((mine, theirs), (7, 7), "both racers see the key's value");
+        let s = cache.stats();
+        assert_eq!(s.entries, 1, "one key, one resident entry");
+        assert_eq!(
+            s.hits + s.misses,
+            2,
+            "every lookup was either a hit or a miss: {s:?}"
+        );
+        assert!(s.misses >= 1, "somebody computed the entry: {s:?}");
+    });
+    assert!(stats.complete, "exploration must exhaust: {stats:?}");
+    assert!(
+        stats.interleavings >= 2,
+        "shard lock must branch: {stats:?}"
+    );
+}

@@ -1,8 +1,10 @@
-//! Workspace walking, rule dispatch, baseline comparison, and reporting.
+//! Workspace walking, rule dispatch, baseline/manifest comparison, and
+//! reporting.
 
 use crate::baseline::{Baseline, BaselineError};
 use crate::findings::{Finding, RuleId};
 use crate::lexer;
+use crate::manifest::{Manifest, ManifestError};
 use crate::rules::{self, FileCtx, FileKind};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -12,11 +14,13 @@ use std::path::{Path, PathBuf};
 /// surface, so the linter does not walk them.
 const VENDORED_DIRS: &[&str] = &["compat", "target"];
 
-/// A driver error (I/O or baseline syntax) — distinct from findings.
+/// A driver error (I/O, baseline, or manifest syntax) — distinct from
+/// findings.
 #[derive(Debug)]
 pub enum DriverError {
     Io(PathBuf, std::io::Error),
     Baseline(BaselineError),
+    Manifest(ManifestError),
 }
 
 impl std::fmt::Display for DriverError {
@@ -24,6 +28,7 @@ impl std::fmt::Display for DriverError {
         match self {
             DriverError::Io(p, e) => write!(f, "{}: {e}", p.display()),
             DriverError::Baseline(e) => write!(f, "{e}"),
+            DriverError::Manifest(e) => write!(f, "{e}"),
         }
     }
 }
@@ -36,6 +41,12 @@ impl From<BaselineError> for DriverError {
     }
 }
 
+impl From<ManifestError> for DriverError {
+    fn from(e: ManifestError) -> Self {
+        DriverError::Manifest(e)
+    }
+}
+
 /// The result of a workspace lint run.
 #[derive(Debug, Default)]
 pub struct LintRun {
@@ -44,8 +55,36 @@ pub struct LintRun {
     /// Current R4 site counts per file (before baselining) — what
     /// `--write-baseline` persists.
     pub r4_counts: BTreeMap<String, usize>,
+    /// Modules currently using concurrency primitives (module key → file) —
+    /// what `--write-manifest` persists.
+    pub concurrency_modules: BTreeMap<String, String>,
     /// Files scanned.
     pub files: usize,
+}
+
+/// The R7 module key of a workspace-relative `.rs` path: crate name plus
+/// the module path under `src/`, e.g. `crates/collector/src/ring.rs` →
+/// `collector::ring`. `lib.rs` / `main.rs` / `mod.rs` name their parent.
+pub fn module_key(rel_path: &str, crate_name: &str) -> String {
+    let mut segs: Vec<&str> = rel_path.split('/').collect();
+    // Everything up to and including the `src` component is the crate root.
+    if let Some(at) = segs.iter().position(|s| *s == "src") {
+        segs.drain(..=at);
+    }
+    let mut key = String::from(crate_name);
+    for (i, seg) in segs.iter().enumerate() {
+        let s = if i + 1 == segs.len() {
+            seg.strip_suffix(".rs").unwrap_or(seg)
+        } else {
+            seg
+        };
+        if matches!(s, "lib" | "main" | "mod") && i + 1 == segs.len() {
+            continue;
+        }
+        key.push_str("::");
+        key.push_str(s);
+    }
+    key
 }
 
 /// Discovers the `.rs` files of every non-vendored workspace crate:
@@ -127,20 +166,26 @@ pub fn lint_source(path: &str, crate_name: &str, kind: FileKind, source: &str) -
     rules::run_all(&ctx)
 }
 
-/// Runs the full workspace lint rooted at `root` against `baseline`.
+/// Runs the full workspace lint rooted at `root` against `baseline` and
+/// `manifest`.
 ///
-/// R1/R2/R3/R5 findings always gate. R4 sites are folded into per-file
+/// R1/R2/R3/R5/R6 findings always gate. R4 sites are folded into per-file
 /// counts and compared against the baseline: a file over its allowance
 /// contributes one summary finding; a file *under* its allowance (or a
 /// baselined file that no longer exists) is stale drift, which also gates
-/// so the checked-in counts can only ratchet down explicitly.
-pub fn run(root: &Path, baseline: &Baseline) -> Result<LintRun, DriverError> {
+/// so the checked-in counts can only ratchet down explicitly. R7 sites are
+/// folded into per-module presence and compared against the manifest the
+/// same two-sided way: an unregistered module gates, and a registered
+/// module with no remaining concurrency use is stale.
+pub fn run(root: &Path, baseline: &Baseline, manifest: &Manifest) -> Result<LintRun, DriverError> {
     let files = discover(root)?;
     let mut run = LintRun {
         files: files.len(),
         ..Default::default()
     };
     let mut r4_lines: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+    // module key -> (file, first site line, site count)
+    let mut r7_modules: BTreeMap<String, (String, u32, usize)> = BTreeMap::new();
 
     for (path, crate_name, kind) in files {
         let source =
@@ -150,12 +195,21 @@ pub fn run(root: &Path, baseline: &Baseline) -> Result<LintRun, DriverError> {
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        for f in lint_source(&rel, &crate_name, kind, &source) {
+        let ctx = FileCtx::new(rel.clone(), crate_name.clone(), kind, lexer::lex(&source));
+        for f in rules::run_all(&ctx) {
             if f.rule == RuleId::PanicSurface {
                 r4_lines.entry(rel.clone()).or_default().push(f.line);
             } else {
                 run.findings.push(f);
             }
+        }
+        let sites = rules::r7_concurrency_sites(&ctx);
+        if let Some(&first) = sites.first() {
+            let key = module_key(&rel, &crate_name);
+            let entry = r7_modules
+                .entry(key)
+                .or_insert_with(|| (rel.clone(), first, 0));
+            entry.2 += sites.len();
         }
     }
 
@@ -199,6 +253,38 @@ pub fn run(root: &Path, baseline: &Baseline) -> Result<LintRun, DriverError> {
         }
     }
 
+    // Manifest comparison (R7): every module using a concurrency primitive
+    // must be registered, and every registered module must still use one.
+    for (module, (file, first, count)) in &r7_modules {
+        run.concurrency_modules.insert(module.clone(), file.clone());
+        if !manifest.modules.contains_key(module) {
+            run.findings.push(Finding {
+                rule: RuleId::ConcurrencyManifest,
+                file: file.clone(),
+                line: *first,
+                message: format!(
+                    "module `{module}` uses atomics/unsafe at {count} site(s) but is \
+                     not registered in concurrency-manifest.toml; register it with a \
+                     reason and add msc-model interleaving tests (DESIGN.md \u{a7}7)"
+                ),
+            });
+        }
+    }
+    for module in manifest.modules.keys() {
+        if !r7_modules.contains_key(module) {
+            run.findings.push(Finding {
+                rule: RuleId::ConcurrencyManifest,
+                file: format!("concurrency-manifest.toml ({module})"),
+                line: 1,
+                message: format!(
+                    "stale manifest: `{module}` is registered but no longer uses any \
+                     concurrency primitive; run \
+                     `cargo run -p msc-lint -- --write-manifest` to drop it"
+                ),
+            });
+        }
+    }
+
     run.findings
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(run)
@@ -221,5 +307,21 @@ mod tests {
         let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
         let findings = lint_source("crates/cli/src/main.rs", "cli", FileKind::Bin, src);
         assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn module_keys_name_files_and_roots() {
+        assert_eq!(
+            module_key("crates/collector/src/ring.rs", "collector"),
+            "collector::ring"
+        );
+        assert_eq!(module_key("crates/core/src/lib.rs", "core"), "core");
+        assert_eq!(module_key("crates/cli/src/main.rs", "cli"), "cli");
+        assert_eq!(module_key("crates/x/src/a/mod.rs", "x"), "x::a");
+        assert_eq!(module_key("crates/x/src/a/b.rs", "x"), "x::a::b");
+        assert_eq!(
+            module_key("src/lib.rs", "microscope-repro"),
+            "microscope-repro"
+        );
     }
 }

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-/// The five project invariants `msc-lint` enforces.
+/// The seven project invariants `msc-lint` enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RuleId {
     /// R1 — HashMap/HashSet iteration order must not reach output.
@@ -15,10 +15,14 @@ pub enum RuleId {
     PanicSurface,
     /// R5 — `unsafe` requires a `// SAFETY:` comment on the preceding line.
     UnsafeAudit,
+    /// R6 — `Ordering::Relaxed` requires a `// ordering:` justification.
+    OrderingJustification,
+    /// R7 — atomics and `unsafe` only in manifest-registered modules.
+    ConcurrencyManifest,
 }
 
 impl RuleId {
-    /// Short id used in output and tests ("R1".."R5").
+    /// Short id used in output and tests ("R1".."R7").
     pub fn id(self) -> &'static str {
         match self {
             RuleId::OrderSensitivity => "R1",
@@ -26,6 +30,8 @@ impl RuleId {
             RuleId::LossyCast => "R3",
             RuleId::PanicSurface => "R4",
             RuleId::UnsafeAudit => "R5",
+            RuleId::OrderingJustification => "R6",
+            RuleId::ConcurrencyManifest => "R7",
         }
     }
 
@@ -37,6 +43,8 @@ impl RuleId {
             RuleId::LossyCast => "lossy-cast",
             RuleId::PanicSurface => "panic-surface",
             RuleId::UnsafeAudit => "unsafe-audit",
+            RuleId::OrderingJustification => "ordering-justification",
+            RuleId::ConcurrencyManifest => "concurrency-manifest",
         }
     }
 
@@ -47,8 +55,12 @@ impl RuleId {
             RuleId::OrderSensitivity => Some("order-insensitive"),
             RuleId::TimeArithmetic => Some("time-arith-ok"),
             RuleId::LossyCast => Some("lossy-cast-ok"),
-            // R4 is governed by the baseline file, R5 by `// SAFETY:`.
-            RuleId::PanicSurface | RuleId::UnsafeAudit => None,
+            // R4 is governed by the baseline file, R5 by `// SAFETY:`,
+            // R6 by `// ordering:`, R7 by the concurrency manifest.
+            RuleId::PanicSurface
+            | RuleId::UnsafeAudit
+            | RuleId::OrderingJustification
+            | RuleId::ConcurrencyManifest => None,
         }
     }
 }

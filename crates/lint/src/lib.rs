@@ -15,11 +15,15 @@
 //! * **R4 panic surface** — `unwrap`/`expect` in library code, ratcheted
 //!   down by `lint-baseline.toml`.
 //! * **R5 unsafe audit** — `unsafe` requires a `// SAFETY:` comment.
+//! * **R6 ordering justification** — `Ordering::Relaxed` requires a
+//!   `// ordering:` comment saying why no synchronization is needed.
+//! * **R7 concurrency manifest** — atomics and `unsafe` only in modules
+//!   registered (with a reason) in `concurrency-manifest.toml`.
 //!
 //! The crate is dependency-free: a small comment/string-aware lexer
 //! ([`lexer`]) feeds per-rule token-stream visitors ([`rules`]); [`driver`]
-//! walks the workspace and applies the [`baseline`]. See DESIGN.md
-//! "Determinism invariants and how msc-lint enforces them".
+//! walks the workspace and applies the [`baseline`] and [`manifest`]. See
+//! DESIGN.md "Determinism invariants and how msc-lint enforces them".
 
 #![forbid(unsafe_code)]
 
@@ -27,9 +31,11 @@ pub mod baseline;
 pub mod driver;
 pub mod findings;
 pub mod lexer;
+pub mod manifest;
 pub mod rules;
 
 pub use baseline::Baseline;
-pub use driver::{lint_source, run, DriverError, LintRun};
+pub use driver::{lint_source, module_key, run, DriverError, LintRun};
 pub use findings::{to_json, Finding, RuleId};
+pub use manifest::Manifest;
 pub use rules::{FileCtx, FileKind};

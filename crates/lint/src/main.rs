@@ -1,11 +1,12 @@
 //! CLI driver: `cargo run -p msc-lint -- [--root DIR] [--baseline FILE]
-//! [--format text|json] [--write-baseline]`.
+//! [--manifest FILE] [--format text|json] [--write-baseline]
+//! [--write-manifest]`.
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 
 #![forbid(unsafe_code)]
 
-use msc_lint::{to_json, Baseline};
+use msc_lint::{to_json, Baseline, Manifest};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -15,14 +16,18 @@ msc-lint — workspace static analysis for determinism/saturation/panic invarian
 usage: cargo run -p msc-lint -- [options]
   --root DIR         workspace root to lint (default: .)
   --baseline FILE    R4 baseline file (default: <root>/lint-baseline.toml)
+  --manifest FILE    R7 concurrency manifest (default: <root>/concurrency-manifest.toml)
   --format text|json output format (default: text)
-  --write-baseline   record current R4 counts as the new baseline and exit";
+  --write-baseline   record current R4 counts as the new baseline and exit
+  --write-manifest   record current concurrency modules into the manifest and exit";
 
 struct Args {
     root: PathBuf,
     baseline: Option<PathBuf>,
+    manifest: Option<PathBuf>,
     format: Format,
     write_baseline: bool,
+    write_manifest: bool,
 }
 
 #[derive(PartialEq)]
@@ -35,8 +40,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::from("."),
         baseline: None,
+        manifest: None,
         format: Format::Text,
         write_baseline: false,
+        write_manifest: false,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -44,6 +51,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--root" => args.root = PathBuf::from(it.next().ok_or("--root wants a directory")?),
             "--baseline" => {
                 args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline wants a file")?));
+            }
+            "--manifest" => {
+                args.manifest = Some(PathBuf::from(it.next().ok_or("--manifest wants a file")?));
             }
             "--format" => {
                 args.format = match it.next().map(String::as_str) {
@@ -53,6 +63,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
             }
             "--write-baseline" => args.write_baseline = true,
+            "--write-manifest" => args.write_manifest = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -76,6 +87,10 @@ fn main() -> ExitCode {
         .baseline
         .clone()
         .unwrap_or_else(|| args.root.join("lint-baseline.toml"));
+    let manifest_path = args
+        .manifest
+        .clone()
+        .unwrap_or_else(|| args.root.join("concurrency-manifest.toml"));
 
     let baseline = match Baseline::load(&baseline_path) {
         Ok(b) => b,
@@ -84,7 +99,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let run = match msc_lint::run(&args.root, &baseline) {
+    let manifest = match Manifest::load(&manifest_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let run = match msc_lint::run(&args.root, &baseline, &manifest) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -109,6 +131,31 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if args.write_manifest {
+        // Keep existing reasons; new modules get a placeholder the reviewer
+        // must replace (the parse rejects empty reasons, not placeholders —
+        // the diff is the gate).
+        let mut new = Manifest::default();
+        for module in run.concurrency_modules.keys() {
+            let reason = manifest
+                .modules
+                .get(module)
+                .cloned()
+                .unwrap_or_else(|| "TODO: justify this module's concurrency protocol".into());
+            new.modules.insert(module.clone(), reason);
+        }
+        if let Err(e) = std::fs::write(&manifest_path, new.render()) {
+            eprintln!("error: write {}: {e}", manifest_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "wrote {} ({} registered concurrency module(s))",
+            manifest_path.display(),
+            new.modules.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
     match args.format {
         Format::Json => println!("{}", to_json(&run.findings)),
         Format::Text => {
@@ -116,11 +163,13 @@ fn main() -> ExitCode {
                 println!("{f}");
             }
             eprintln!(
-                "msc-lint: {} file(s), {} finding(s), R4 baseline {} site(s) in {} file(s)",
+                "msc-lint: {} file(s), {} finding(s), R4 baseline {} site(s) in {} file(s), \
+                 R7 manifest {} module(s)",
                 run.files,
                 run.findings.len(),
                 baseline.total(),
-                baseline.r4.len()
+                baseline.r4.len(),
+                manifest.modules.len()
             );
         }
     }

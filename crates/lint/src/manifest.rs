@@ -1,0 +1,167 @@
+//! The R7 concurrency manifest: `concurrency-manifest.toml`.
+//!
+//! Atomics and `unsafe` are allowed only in modules registered here, each
+//! with a one-line reason. Registration is deliberately a checked-in file
+//! rather than an inline annotation: adding a module to the concurrency
+//! surface shows up as a manifest diff in review, and the expectation (see
+//! DESIGN.md §7) is that the same PR adds `msc-model` interleaving tests
+//! for it. A registered module that no longer uses any concurrency
+//! primitive trips the stale check, so the manifest always lists *exactly*
+//! the current surface.
+//!
+//! The format mirrors [`crate::baseline`]: a hand-rolled TOML subset (one
+//! `[modules]` table of `"crate::module" = "reason"` entries) keeping the
+//! linter dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Registered modules: `crate::module` key to one-line reason.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    pub modules: BTreeMap<String, String>,
+}
+
+/// Errors from reading a manifest file.
+#[derive(Debug)]
+pub enum ManifestError {
+    Io(std::io::Error),
+    /// Line number and description of the malformed line.
+    Parse(usize, String),
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Io(e) => write!(f, "manifest i/o error: {e}"),
+            ManifestError::Parse(line, what) => {
+                write!(f, "manifest parse error on line {line}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// Strips surrounding double quotes, rejecting anything else.
+fn unquote(s: &str) -> Option<&str> {
+    s.strip_prefix('"').and_then(|s| s.strip_suffix('"'))
+}
+
+impl Manifest {
+    /// Parses the manifest text format.
+    pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
+        let mut out = Manifest::default();
+        let mut in_modules = false;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = i + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line.starts_with('[') {
+                if !line.ends_with(']') {
+                    return Err(ManifestError::Parse(
+                        lineno,
+                        format!("bad table header {line:?}"),
+                    ));
+                }
+                in_modules = line == "[modules]";
+                continue;
+            }
+            if !in_modules {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ManifestError::Parse(
+                    lineno,
+                    format!("expected `\"crate::module\" = \"reason\"`, got {line:?}"),
+                ));
+            };
+            let module = unquote(key.trim()).ok_or_else(|| {
+                ManifestError::Parse(
+                    lineno,
+                    format!("module must be double-quoted, got {:?}", key.trim()),
+                )
+            })?;
+            let reason = unquote(value.trim()).ok_or_else(|| {
+                ManifestError::Parse(
+                    lineno,
+                    format!("reason must be double-quoted, got {:?}", value.trim()),
+                )
+            })?;
+            if reason.trim().is_empty() {
+                return Err(ManifestError::Parse(
+                    lineno,
+                    format!("module {module:?} needs a non-empty reason"),
+                ));
+            }
+            out.modules.insert(module.to_string(), reason.to_string());
+        }
+        Ok(out)
+    }
+
+    /// Loads from a file; a missing file is an empty manifest (so a
+    /// workspace with no registered concurrency surface needs no file).
+    pub fn load(path: &std::path::Path) -> Result<Manifest, ManifestError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Manifest::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Manifest::default()),
+            Err(e) => Err(ManifestError::Io(e)),
+        }
+    }
+
+    /// Renders the canonical file text (sorted, commented header).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# msc-lint concurrency manifest (rule R7).\n\
+             # Atomics and `unsafe` are allowed only in the modules registered below.\n\
+             # Registering a module here is a claim that its concurrency protocol is\n\
+             # deliberate: justify it with the reason string and back it with msc-model\n\
+             # interleaving tests (see DESIGN.md \u{a7}7). A registered module that stops\n\
+             # using concurrency primitives trips the stale check. Regenerate with:\n\
+             #   cargo run -p msc-lint -- --write-manifest\n\
+             \n[modules]\n",
+        );
+        for (module, reason) in &self.modules {
+            out.push_str(&format!("\"{module}\" = \"{reason}\"\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut m = Manifest::default();
+        m.modules
+            .insert("collector::ring".into(), "SPSC handoff".into());
+        m.modules.insert("core::cache".into(), "shard locks".into());
+        let parsed = Manifest::parse(&m.render()).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let m = Manifest::load(std::path::Path::new("/nonexistent/msc-lint-manifest")).unwrap();
+        assert!(m.modules.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Manifest::parse("[modules]\nnot a pair\n").is_err());
+        assert!(Manifest::parse("[modules]\ncollector::ring = \"x\"\n").is_err());
+        assert!(Manifest::parse("[modules]\n\"a::b\" = bare\n").is_err());
+        assert!(Manifest::parse("[modules]\n\"a::b\" = \"\"\n").is_err());
+    }
+
+    #[test]
+    fn unknown_tables_are_ignored() {
+        let m = Manifest::parse("[future]\n\"x\" = \"y\"\n[modules]\n\"a::b\" = \"ok\"\n").unwrap();
+        assert_eq!(m.modules.len(), 1);
+        assert_eq!(m.modules["a::b"], "ok");
+    }
+}

@@ -1,0 +1,36 @@
+//! R6 fixture: `Ordering::Relaxed` requires a `// ordering:` comment on
+//! the same line or in the contiguous comment block immediately above;
+//! Acquire/Release/AcqRel/SeqCst are exempt.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn justified_same_line(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed) // ordering: totals-only counter.
+}
+
+pub fn unjustified_load(c: &AtomicU64) -> u64 {
+    // An ordinary comment does not count as a justification.
+    c.load(Ordering::Relaxed)
+}
+
+pub fn justified_block_above(c: &AtomicU64) {
+    // ordering: increment-only statistics counter; the consumer joins the
+    // worker threads before reading, so no publication rides on this.
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn exempt_strong_orderings(c: &AtomicU64) -> u64 {
+    c.store(1, Ordering::Release);
+    c.fetch_add(1, Ordering::SeqCst);
+    c.load(Ordering::Relaxed) + c.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxed_in_tests_is_fine() {
+        let c = AtomicU64::new(0);
+        assert_eq!(c.load(Ordering::Relaxed), 0);
+    }
+}

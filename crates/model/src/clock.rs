@@ -1,0 +1,90 @@
+//! Vector clocks: the happens-before partial order of one model execution.
+//!
+//! Every model thread owns one component; every operation ticks the owning
+//! component. A `Release` store (or lock release) snapshots the writer's
+//! clock; an `Acquire` load (or lock acquire) joins that snapshot into the
+//! reader's clock. "`a` happens-before `b`" is then exactly "`b`'s clock
+//! covers `a`'s (writer, tick) coordinate" — the race detector and the
+//! stale-read floor both reduce to [`VClock::covers`] queries.
+
+/// A grow-on-demand vector clock. Missing components read as 0, so clocks
+/// created before later threads spawn compare correctly.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// This thread performed one more operation.
+    pub fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// The component for `tid` (0 when never ticked).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Pointwise maximum: after `self.join(o)`, everything ordered before
+    /// `o` is ordered before `self` too.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, &o) in self.0.iter_mut().zip(other.0.iter()) {
+            *s = (*s).max(o);
+        }
+    }
+
+    /// True when the event "(tid, tick)" is ordered before this clock.
+    pub fn covers(&self, tid: usize, tick: u32) -> bool {
+        self.get(tid) >= tick
+    }
+
+    /// The raw components, for state hashing.
+    pub fn components(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(3), 0);
+        c.tick(3);
+        c.tick(3);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        assert!(a.covers(1, 1));
+        assert!(!a.covers(1, 2));
+    }
+
+    #[test]
+    fn covers_unticked_components() {
+        let c = VClock::new();
+        assert!(c.covers(7, 0));
+        assert!(!c.covers(7, 1));
+    }
+}

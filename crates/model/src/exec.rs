@@ -1,0 +1,1111 @@
+//! The interleaving-exploration engine.
+//!
+//! One *execution* runs the user closure to completion with every shim
+//! operation serialized: exactly one model thread holds the scheduling token
+//! at a time, and each operation ends by choosing the next token holder.
+//! Every such choice (and every multi-candidate `Relaxed` load) is a
+//! *decision* recorded on a persistent DFS stack of [`Frame`]s; after an
+//! execution finishes, the deepest non-exhausted frame advances and the
+//! closure is replayed from scratch along the recorded prefix. The search
+//! terminates when the stack empties (every reachable schedule explored
+//! within bounds) or a bound trips ([`Config::max_steps`] /
+//! [`Config::max_executions`]).
+//!
+//! Soundness of the state-hash pruning relies on model threads being
+//! deterministic functions of what they have observed: each thread folds
+//! every observation (atomic load values, cell versions, lock generations)
+//! into a rolling `obs` hash, so two states with equal hashes have — modulo
+//! 64-bit collisions — identical futures and only one needs exploring.
+
+use crate::clock::VClock;
+use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, PoisonError};
+
+/// Exploration bounds. The defaults comfortably cover the workspace's model
+/// tests (2–3 threads, a handful of operations each) while keeping any
+/// accidental blow-up finite.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum concurrently-registered model threads per execution.
+    pub max_threads: usize,
+    /// Maximum shim operations per execution; exceeding it truncates the
+    /// execution (recorded in [`Stats::truncated`], clears
+    /// [`Stats::complete`]).
+    pub max_steps: usize,
+    /// Maximum executions (completed + pruned + truncated) before the
+    /// search stops with [`Stats::complete`] `= false`.
+    pub max_executions: u64,
+    /// Maximum recorded trace lines kept for violation reports.
+    pub trace_cap: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            max_threads: 8,
+            max_steps: 4096,
+            max_executions: 2_000_000,
+            trace_cap: 256,
+        }
+    }
+}
+
+/// What the search did. Returned by [`check`] / [`model`] and serialized
+/// into `results/BENCH_model.json` by the model bench.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Executions that ran to completion.
+    pub interleavings: u64,
+    /// Executions abandoned because a scheduling point reached an
+    /// already-explored state.
+    pub pruned: u64,
+    /// Executions cut short by [`Config::max_steps`].
+    pub truncated: u64,
+    /// Total decisions taken (thread choices + multi-candidate reads).
+    pub decision_points: u64,
+    /// Distinct state hashes seen at branching scheduling points.
+    pub distinct_states: u64,
+    /// Deepest decision stack reached.
+    pub max_depth: usize,
+    /// True iff the search exhausted every schedule within bounds: the DFS
+    /// stack emptied with no truncations and no execution-budget stop.
+    pub complete: bool,
+}
+
+impl Stats {
+    /// Total executions started.
+    pub fn runs(&self) -> u64 {
+        self.interleavings + self.pruned + self.truncated
+    }
+
+    /// Fraction of executions cut off by state-hash pruning.
+    pub fn prune_rate(&self) -> f64 {
+        let runs = self.runs();
+        if runs == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / runs as f64
+        }
+    }
+}
+
+/// A property failure in some explored interleaving, plus the operation
+/// trace of the execution that exposed it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub kind: ViolationKind,
+    /// Shim-operation log of the failing execution (capped at
+    /// [`Config::trace_cap`] lines).
+    pub trace: Vec<String>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Two unordered conflicting accesses to a [`crate::shim::ModelCell`].
+    DataRace(String),
+    /// Live threads exist but none is runnable.
+    Deadlock,
+    /// A model thread panicked (assertion failure, etc.).
+    Panic(String),
+    /// More than [`Config::max_threads`] threads were spawned.
+    ThreadLimit,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ViolationKind::DataRace(m) => write!(f, "data race: {m}"),
+            ViolationKind::Deadlock => write!(f, "deadlock: live threads but none runnable"),
+            ViolationKind::Panic(m) => write!(f, "panic in model thread: {m}"),
+            ViolationKind::ThreadLimit => write!(f, "thread limit exceeded"),
+        }
+    }
+}
+
+/// One decision on the DFS stack: `n` alternatives existed, branch `taken`
+/// is the one the current/next execution follows.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    n: usize,
+    taken: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Waiting for the lock with this id.
+    BlockedLock(usize),
+    /// Waiting for the thread with this tid to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadSt {
+    status: Status,
+    clock: VClock,
+    /// Per-atomic-location coherence floor: the lowest store index this
+    /// thread may still read from that location.
+    seen: Vec<u32>,
+    /// Operations performed; a schedule-invariant program counter.
+    ops: u64,
+    /// Rolling hash of everything observed (load values, cell versions,
+    /// lock generations). See module docs for why this makes state-hash
+    /// pruning sound.
+    obs: u64,
+}
+
+impl ThreadSt {
+    fn child_of(parent: &ThreadSt) -> ThreadSt {
+        ThreadSt {
+            status: Status::Runnable,
+            clock: parent.clock.clone(),
+            seen: parent.seen.clone(),
+            ops: 0,
+            obs: FNV_OFFSET,
+        }
+    }
+
+    fn root() -> ThreadSt {
+        ThreadSt {
+            status: Status::Runnable,
+            clock: VClock::new(),
+            seen: Vec::new(),
+            ops: 0,
+            obs: FNV_OFFSET,
+        }
+    }
+
+    fn observe(&mut self, x: u64) {
+        self.obs = fnv(self.obs, x);
+    }
+}
+
+/// One store in an atomic location's modification history.
+#[derive(Debug, Clone)]
+struct StoreEv {
+    val: u64,
+    tid: usize,
+    tick: u32,
+    /// True for Release/AcqRel/SeqCst stores: an Acquire load of this store
+    /// joins `clock` and `seen` into the reader.
+    release: bool,
+    clock: VClock,
+    seen: Vec<u32>,
+}
+
+#[derive(Debug, Default)]
+struct AtomicSt {
+    stores: Vec<StoreEv>,
+}
+
+#[derive(Debug, Default)]
+struct CellSt {
+    /// Last write as a (tid, tick) event, plus a monotone version counter.
+    last_write: Option<(usize, u32)>,
+    version: u64,
+    /// Reads since the last write, one entry per reading thread.
+    reads: Vec<(usize, u32)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LockState {
+    Unlocked,
+    Read(usize),
+    Write(usize),
+}
+
+#[derive(Debug)]
+struct LockSt {
+    state: LockState,
+    /// Join of every releaser's clock; acquirers synchronize with it.
+    clock: VClock,
+    seen: Vec<u32>,
+    /// Release generation, folded into acquirers' `obs`.
+    gen: u64,
+}
+
+struct St {
+    // Persistent across executions.
+    stack: Vec<Frame>,
+    seen_states: HashSet<u64>,
+    stats: Stats,
+    // Replay cursor into `stack` for the current execution.
+    depth: usize,
+    // Per-execution state.
+    steps: u64,
+    threads: Vec<ThreadSt>,
+    atomics: Vec<AtomicSt>,
+    cells: Vec<CellSt>,
+    locks: Vec<LockSt>,
+    active: usize,
+    live: usize,
+    abandoned: bool,
+    // True while a destructor runs a shim op during unwind (teardown).
+    // Teardown ops must not consume or record decisions — they are not part
+    // of the explored schedule — and must not report violations (the state
+    // they see is mid-abandonment, not a schedule the checker chose).
+    teardown: bool,
+    violation: Option<Violation>,
+    trace: Vec<String>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl St {
+    fn new() -> St {
+        St {
+            stack: Vec::new(),
+            seen_states: HashSet::new(),
+            stats: Stats::default(),
+            depth: 0,
+            steps: 0,
+            threads: Vec::new(),
+            atomics: Vec::new(),
+            cells: Vec::new(),
+            locks: Vec::new(),
+            active: 0,
+            live: 0,
+            abandoned: false,
+            teardown: false,
+            violation: None,
+            trace: Vec::new(),
+            handles: Vec::new(),
+        }
+    }
+
+    fn reset_execution(&mut self) {
+        self.depth = 0;
+        self.steps = 0;
+        self.threads.clear();
+        self.threads.push(ThreadSt::root());
+        self.atomics.clear();
+        self.cells.clear();
+        self.locks.clear();
+        self.active = 0;
+        self.live = 1;
+        self.abandoned = false;
+        self.teardown = false;
+        self.trace.clear();
+    }
+}
+
+struct Shared {
+    cfg: Config,
+    st: Mutex<St>,
+    cv: Condvar,
+}
+
+#[derive(Clone)]
+struct Ctx {
+    shared: Arc<Shared>,
+    tid: usize,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+    static IN_MODEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Panic payload used to unwind model threads when an execution is
+/// abandoned (pruned, truncated, or another thread already violated).
+struct Abandon;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+fn fnv_slice(mut h: u64, xs: &[u32]) -> u64 {
+    for &x in xs {
+        h = fnv(h, u64::from(x));
+    }
+    fnv(h, 0x5eed)
+}
+
+fn lock_st(sh: &Shared) -> MutexGuard<'_, St> {
+    sh.st.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn wait_st<'a>(sh: &'a Shared, g: MutexGuard<'a, St>) -> MutexGuard<'a, St> {
+    sh.cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+}
+
+fn ctx() -> Ctx {
+    let Some(c) = CURRENT.with(|c| c.borrow().clone()) else {
+        panic!("msc-model shim used outside a model run; wrap the code in msc_model::model(...)");
+    };
+    c
+}
+
+/// Install (once, process-wide) a panic hook that silences model threads:
+/// their panics are either the internal [`Abandon`] control flow or are
+/// captured and reported as [`ViolationKind::Panic`], so the default
+/// stderr backtrace would only spam expected-failure output.
+fn install_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if IN_MODEL.with(Cell::get) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn push_trace(st: &mut St, cfg: &Config, line: impl FnOnce() -> String) {
+    if st.trace.len() < cfg.trace_cap {
+        let s = line();
+        st.trace.push(s);
+    }
+}
+
+fn set_violation(st: &mut St, kind: ViolationKind) {
+    if st.teardown {
+        // Unwind-time destructors observe mid-abandonment state; anything
+        // they trip over is not a finding about the model closure.
+        return;
+    }
+    if st.violation.is_none() {
+        st.violation = Some(Violation {
+            kind,
+            trace: st.trace.clone(),
+        });
+    }
+    st.abandoned = true;
+}
+
+/// Record (or replay) a decision with `n` alternatives; returns the branch
+/// to take in this execution.
+fn decide(st: &mut St, n: usize) -> usize {
+    if st.teardown {
+        // Teardown ops are outside the explored schedule: resolve every
+        // choice to the first alternative without touching the DFS stack.
+        return 0;
+    }
+    st.stats.decision_points += 1;
+    let d = st.depth;
+    st.depth += 1;
+    if d < st.stack.len() {
+        assert_eq!(
+            st.stack[d].n, n,
+            "replay divergence: checker bug or non-deterministic model closure"
+        );
+        st.stack[d].taken
+    } else {
+        st.stack.push(Frame { n, taken: 0 });
+        if st.stack.len() > st.stats.max_depth {
+            st.stats.max_depth = st.stack.len();
+        }
+        0
+    }
+}
+
+/// Hash everything that determines future behaviour (see module docs).
+fn state_hash(st: &St) -> u64 {
+    let mut h = FNV_OFFSET;
+    for t in &st.threads {
+        let disc = match t.status {
+            Status::Runnable => 1,
+            Status::BlockedLock(id) => 2 + ((id as u64) << 8),
+            Status::BlockedJoin(id) => 3 + ((id as u64) << 8),
+            Status::Finished => 4,
+        };
+        h = fnv(h, disc);
+        h = fnv(h, t.ops);
+        h = fnv(h, t.obs);
+        h = fnv_slice(h, t.clock.components());
+        h = fnv_slice(h, &t.seen);
+    }
+    for a in &st.atomics {
+        for s in &a.stores {
+            h = fnv(h, s.val);
+            h = fnv(
+                h,
+                (s.tid as u64) << 33 | u64::from(s.tick) << 1 | u64::from(s.release),
+            );
+        }
+        h = fnv(h, 0xa70a);
+    }
+    for c in &st.cells {
+        h = fnv(h, c.version);
+        if let Some((tid, tick)) = c.last_write {
+            h = fnv(h, (tid as u64) << 32 | u64::from(tick));
+        }
+        for &(tid, tick) in &c.reads {
+            h = fnv(h, (tid as u64) << 32 | u64::from(tick));
+        }
+        h = fnv(h, 0xce11);
+    }
+    for l in &st.locks {
+        let disc = match l.state {
+            LockState::Unlocked => 1,
+            LockState::Read(n) => 2 + ((n as u64) << 8),
+            LockState::Write(t) => 3 + ((t as u64) << 8),
+        };
+        h = fnv(h, disc);
+        h = fnv(h, l.gen);
+        h = fnv_slice(h, l.clock.components());
+        h = fnv_slice(h, &l.seen);
+    }
+    h
+}
+
+/// Pick the next token holder. Called at the end of every shim operation
+/// and when a thread blocks or finishes.
+fn schedule_next(st: &mut St, sh: &Shared) {
+    if st.abandoned {
+        sh.cv.notify_all();
+        return;
+    }
+    let mut runnable: Vec<usize> = Vec::new();
+    for (i, t) in st.threads.iter().enumerate() {
+        if t.status == Status::Runnable {
+            runnable.push(i);
+        }
+    }
+    if runnable.is_empty() {
+        if st.live > 0 {
+            set_violation(st, ViolationKind::Deadlock);
+        }
+        sh.cv.notify_all();
+        return;
+    }
+    let idx = if runnable.len() == 1 {
+        0
+    } else {
+        // Prune: at a genuine branch point in unexplored territory, a state
+        // seen before has an already-explored future.
+        if st.depth >= st.stack.len() {
+            let h = state_hash(st);
+            if !st.seen_states.insert(h) {
+                st.stats.pruned += 1;
+                st.abandoned = true;
+                sh.cv.notify_all();
+                return;
+            }
+            st.stats.distinct_states += 1;
+        }
+        decide(st, runnable.len())
+    };
+    st.active = runnable[idx];
+    sh.cv.notify_all();
+}
+
+/// Block until this thread holds the scheduling token again (or the
+/// execution is abandoned, in which case unwind).
+fn wait_active<'a>(sh: &'a Shared, mut g: MutexGuard<'a, St>, tid: usize) -> MutexGuard<'a, St> {
+    loop {
+        if g.abandoned {
+            drop(g);
+            panic::panic_any(Abandon);
+        }
+        if g.active == tid && g.threads[tid].status == Status::Runnable {
+            return g;
+        }
+        g = wait_st(sh, g);
+    }
+}
+
+/// Run one shim operation as a scheduling point. `body` returns `Some(r)`
+/// when the operation completed, `None` when the thread must block (the
+/// body has already set its blocked status); blocked threads retry after
+/// being woken and rescheduled.
+fn op<R>(body: impl FnMut(&mut St, &Config, usize) -> Option<R>) -> R {
+    let c = ctx();
+    let sh: &Shared = &c.shared;
+    let tid = c.tid;
+    let mut body = body;
+    if std::thread::panicking() {
+        // This thread is unwinding (Abandon or a reported failure) and a
+        // destructor reached a shim op — e.g. a lock guard releasing or a
+        // ring draining its slots. Apply the state effect so other threads
+        // unblock, but do not schedule or panic again (a panic-in-panic
+        // aborts the process), and — critically — flag teardown so the body
+        // neither consumes/records decisions (which thread unwinds first is
+        // not part of the explored schedule; touching the DFS stack here
+        // desynchronises later replays) nor reports violations.
+        let mut g = lock_st(sh);
+        g.teardown = true;
+        let out = body(&mut g, &sh.cfg, tid);
+        g.teardown = false;
+        match out {
+            Some(r) => {
+                sh.cv.notify_all();
+                return r;
+            }
+            None => unreachable!("blocking shim op in a destructor during unwind"),
+        }
+    }
+    let mut g = lock_st(sh);
+    loop {
+        if g.abandoned {
+            drop(g);
+            panic::panic_any(Abandon);
+        }
+        g.steps += 1;
+        if g.steps > sh.cfg.max_steps as u64 {
+            g.stats.truncated += 1;
+            g.abandoned = true;
+            sh.cv.notify_all();
+            drop(g);
+            panic::panic_any(Abandon);
+        }
+        let out = body(&mut g, &sh.cfg, tid);
+        if g.abandoned {
+            sh.cv.notify_all();
+            drop(g);
+            panic::panic_any(Abandon);
+        }
+        match out {
+            Some(r) => {
+                g.threads[tid].ops += 1;
+                schedule_next(&mut g, sh);
+                let g2 = wait_active(sh, g, tid);
+                drop(g2);
+                return r;
+            }
+            None => {
+                schedule_next(&mut g, sh);
+                g = wait_active(sh, g, tid);
+            }
+        }
+    }
+}
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn ensure_seen(seen: &mut Vec<u32>, loc: usize) {
+    if seen.len() <= loc {
+        seen.resize(loc + 1, 0);
+    }
+}
+
+fn join_seen(dst: &mut Vec<u32>, src: &[u32]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = (*d).max(s);
+    }
+}
+
+// --- Shim entry points -----------------------------------------------------
+
+/// Register a new atomic location; its initial value is a Release store by
+/// the creating thread (initialization happens-before every access that can
+/// reach the atomic).
+pub(crate) fn register_atomic(init: u64) -> usize {
+    let c = ctx();
+    let mut g = lock_st(&c.shared);
+    if g.abandoned {
+        drop(g);
+        panic::panic_any(Abandon);
+    }
+    let tid = c.tid;
+    g.threads[tid].clock.tick(tid);
+    let tick = g.threads[tid].clock.get(tid);
+    let clock = g.threads[tid].clock.clone();
+    let seen = g.threads[tid].seen.clone();
+    let loc = g.atomics.len();
+    g.atomics.push(AtomicSt {
+        stores: vec![StoreEv {
+            val: init,
+            tid,
+            tick,
+            release: true,
+            clock,
+            seen,
+        }],
+    });
+    ensure_seen(&mut g.threads[tid].seen, loc);
+    loc
+}
+
+pub(crate) fn atomic_load(loc: usize, order: Ordering) -> u64 {
+    op(move |st, cfg, tid| {
+        let acq = is_acquire(order);
+        // A load may read any store not ruled out by coherence (this
+        // thread's floor for the location) or happens-before (any store
+        // hb-ordered before the load hides all earlier stores).
+        let mut hb = 0usize;
+        for (j, s) in st.atomics[loc].stores.iter().enumerate() {
+            if st.threads[tid].clock.covers(s.tid, s.tick) {
+                hb = j;
+            }
+        }
+        ensure_seen(&mut st.threads[tid].seen, loc);
+        let floor = (st.threads[tid].seen[loc] as usize).max(hb);
+        let ncand = st.atomics[loc].stores.len() - floor;
+        let idx = if ncand > 1 {
+            floor + decide(st, ncand)
+        } else {
+            floor
+        };
+        let s = st.atomics[loc].stores[idx].clone();
+        let t = &mut st.threads[tid];
+        t.seen[loc] = t.seen[loc].max(idx as u32);
+        if acq && s.release {
+            t.clock.join(&s.clock);
+            join_seen(&mut t.seen, &s.seen);
+        }
+        t.clock.tick(tid);
+        t.observe(fnv(fnv(loc as u64, idx as u64), s.val));
+        let v = s.val;
+        push_trace(st, cfg, || {
+            format!("t{tid} load  a{loc}[{idx}] -> {v} ({order:?})")
+        });
+        Some(v)
+    })
+}
+
+pub(crate) fn atomic_store(loc: usize, val: u64, order: Ordering) {
+    op(move |st, cfg, tid| {
+        let rel = is_release(order);
+        {
+            let t = &mut st.threads[tid];
+            t.clock.tick(tid);
+            ensure_seen(&mut t.seen, loc);
+        }
+        let idx = st.atomics[loc].stores.len();
+        st.threads[tid].seen[loc] = idx as u32;
+        let tick = st.threads[tid].clock.get(tid);
+        let clock = st.threads[tid].clock.clone();
+        let seen = st.threads[tid].seen.clone();
+        st.atomics[loc].stores.push(StoreEv {
+            val,
+            tid,
+            tick,
+            release: rel,
+            clock,
+            seen,
+        });
+        push_trace(st, cfg, || {
+            format!("t{tid} store a{loc}[{idx}] <- {val} ({order:?})")
+        });
+        Some(())
+    });
+}
+
+/// Read-modify-write. Always reads the newest store (RMW atomicity under
+/// the model's modification-order-equals-append-order simplification).
+pub(crate) fn atomic_rmw_add(loc: usize, delta: u64, order: Ordering) -> u64 {
+    op(move |st, cfg, tid| {
+        let acq = is_acquire(order);
+        let rel = is_release(order);
+        let last = st.atomics[loc].stores.len() - 1;
+        let s = st.atomics[loc].stores[last].clone();
+        {
+            let t = &mut st.threads[tid];
+            ensure_seen(&mut t.seen, loc);
+            t.seen[loc] = last as u32;
+            if acq && s.release {
+                t.clock.join(&s.clock);
+                join_seen(&mut t.seen, &s.seen);
+            }
+            t.clock.tick(tid);
+            t.observe(fnv(fnv(loc as u64, last as u64), s.val));
+        }
+        let tick = st.threads[tid].clock.get(tid);
+        let idx = last + 1;
+        st.threads[tid].seen[loc] = idx as u32;
+        let clock = st.threads[tid].clock.clone();
+        let seen = st.threads[tid].seen.clone();
+        let newv = s.val.wrapping_add(delta);
+        st.atomics[loc].stores.push(StoreEv {
+            val: newv,
+            tid,
+            tick,
+            release: rel,
+            clock,
+            seen,
+        });
+        push_trace(st, cfg, || {
+            format!(
+                "t{tid} rmw   a{loc}[{idx}] {old} -> {newv} ({order:?})",
+                old = s.val
+            )
+        });
+        Some(s.val)
+    })
+}
+
+pub(crate) fn register_cell() -> usize {
+    let c = ctx();
+    let mut g = lock_st(&c.shared);
+    if g.abandoned {
+        drop(g);
+        panic::panic_any(Abandon);
+    }
+    g.cells.push(CellSt::default());
+    g.cells.len() - 1
+}
+
+/// FastTrack-style race check on a modeled `UnsafeCell` access.
+pub(crate) fn cell_access(id: usize, write: bool) {
+    op(move |st, cfg, tid| {
+        let kind = if write { "write" } else { "read" };
+        let mut race: Option<String> = None;
+        {
+            let clock = &st.threads[tid].clock;
+            let c = &st.cells[id];
+            if let Some((wtid, wtick)) = c.last_write {
+                if wtid != tid && !clock.covers(wtid, wtick) {
+                    race = Some(format!(
+                        "t{tid} {kind} of cell c{id} is unordered with the write by t{wtid}"
+                    ));
+                }
+            }
+            if write && race.is_none() {
+                for &(rtid, rtick) in &c.reads {
+                    if rtid != tid && !clock.covers(rtid, rtick) {
+                        race = Some(format!(
+                            "t{tid} write of cell c{id} is unordered with the read by t{rtid}"
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(msg) = race {
+            push_trace(st, cfg, || format!("t{tid} {kind} c{id} ** RACE **"));
+            set_violation(st, ViolationKind::DataRace(msg));
+            return Some(());
+        }
+        let (ver, wsig) = {
+            let c = &st.cells[id];
+            let wsig = match c.last_write {
+                Some((wtid, wtick)) => ((wtid as u64) << 32) | u64::from(wtick),
+                None => 0,
+            };
+            (c.version, wsig)
+        };
+        {
+            let t = &mut st.threads[tid];
+            t.clock.tick(tid);
+            // A read's value is a deterministic function of the version it
+            // reads; folding the version identity into `obs` keeps
+            // state-hash pruning sound for cell-mediated data flow.
+            t.observe(fnv(fnv(id as u64, ver), wsig));
+        }
+        let tick = st.threads[tid].clock.get(tid);
+        let c = &mut st.cells[id];
+        if write {
+            c.last_write = Some((tid, tick));
+            c.version += 1;
+            c.reads.clear();
+        } else {
+            c.reads.retain(|r| r.0 != tid);
+            c.reads.push((tid, tick));
+        }
+        push_trace(st, cfg, || format!("t{tid} {kind} c{id}"));
+        Some(())
+    });
+}
+
+pub(crate) fn register_lock() -> usize {
+    let c = ctx();
+    let mut g = lock_st(&c.shared);
+    if g.abandoned {
+        drop(g);
+        panic::panic_any(Abandon);
+    }
+    g.locks.push(LockSt {
+        state: LockState::Unlocked,
+        clock: VClock::new(),
+        seen: Vec::new(),
+        gen: 0,
+    });
+    g.locks.len() - 1
+}
+
+pub(crate) fn lock_acquire(id: usize, write: bool) {
+    op(move |st, cfg, tid| {
+        let avail = match st.locks[id].state {
+            LockState::Unlocked => true,
+            LockState::Read(_) => !write,
+            LockState::Write(_) => false,
+        };
+        if !avail {
+            st.threads[tid].status = Status::BlockedLock(id);
+            push_trace(st, cfg, || format!("t{tid} blocked on l{id}"));
+            return None;
+        }
+        st.locks[id].state = match (st.locks[id].state, write) {
+            (LockState::Unlocked, true) => LockState::Write(tid),
+            (LockState::Unlocked, false) => LockState::Read(1),
+            (LockState::Read(n), false) => LockState::Read(n + 1),
+            _ => unreachable!("lock availability checked above"),
+        };
+        let lclock = st.locks[id].clock.clone();
+        let lseen = st.locks[id].seen.clone();
+        let gen = st.locks[id].gen;
+        let t = &mut st.threads[tid];
+        t.clock.join(&lclock);
+        join_seen(&mut t.seen, &lseen);
+        t.clock.tick(tid);
+        t.observe(fnv(id as u64, gen));
+        push_trace(st, cfg, || {
+            format!("t{tid} {} l{id}", if write { "wlock" } else { "rlock" })
+        });
+        Some(())
+    });
+}
+
+pub(crate) fn lock_release(id: usize, write: bool) {
+    op(move |st, cfg, tid| {
+        {
+            let t = &mut st.threads[tid];
+            t.clock.tick(tid);
+        }
+        let tclock = st.threads[tid].clock.clone();
+        let tseen = st.threads[tid].seen.clone();
+        let l = &mut st.locks[id];
+        l.clock.join(&tclock);
+        join_seen(&mut l.seen, &tseen);
+        l.gen += 1;
+        l.state = match (l.state, write) {
+            (LockState::Write(_), true) => LockState::Unlocked,
+            (LockState::Read(1), false) => LockState::Unlocked,
+            (LockState::Read(n), false) => LockState::Read(n - 1),
+            _ => unreachable!("release must match a held acquire"),
+        };
+        if l.state == LockState::Unlocked {
+            for th in &mut st.threads {
+                if th.status == Status::BlockedLock(id) {
+                    th.status = Status::Runnable;
+                }
+            }
+        }
+        push_trace(st, cfg, || format!("t{tid} unlock l{id}"));
+        Some(())
+    });
+}
+
+// --- Thread lifecycle ------------------------------------------------------
+
+pub(crate) fn spawn_model_thread(body: Box<dyn FnOnce() + Send + 'static>) -> usize {
+    let c = ctx();
+    let sh = Arc::clone(&c.shared);
+    let tid = {
+        let mut g = lock_st(&sh);
+        if g.abandoned {
+            drop(g);
+            panic::panic_any(Abandon);
+        }
+        let tid = g.threads.len();
+        if tid >= sh.cfg.max_threads {
+            set_violation(&mut g, ViolationKind::ThreadLimit);
+            sh.cv.notify_all();
+            drop(g);
+            panic::panic_any(Abandon);
+        }
+        let parent = c.tid;
+        g.threads[parent].clock.tick(parent);
+        let child = ThreadSt::child_of(&g.threads[parent]);
+        g.threads.push(child);
+        g.live += 1;
+        push_trace(&mut g, &sh.cfg, || format!("t{parent} spawn t{tid}"));
+        tid
+    };
+    let sh2 = Arc::clone(&sh);
+    let spawned = std::thread::Builder::new()
+        .name(format!("msc-model-{tid}"))
+        .spawn(move || run_thread(&sh2, tid, body));
+    match spawned {
+        Ok(h) => lock_st(&sh).handles.push(h),
+        Err(e) => panic!("failed to spawn model OS thread: {e}"),
+    }
+    // Spawning is a scheduling point: the child may run before the
+    // parent's next operation.
+    op(|_, _, _| Some(()));
+    tid
+}
+
+/// Block until `target` finishes, then synchronize with everything it did.
+pub(crate) fn join_thread(target: usize) {
+    op(move |st, cfg, tid| {
+        if st.threads[target].status == Status::Finished {
+            let tclock = st.threads[target].clock.clone();
+            let tseen = st.threads[target].seen.clone();
+            let t = &mut st.threads[tid];
+            t.clock.join(&tclock);
+            join_seen(&mut t.seen, &tseen);
+            t.clock.tick(tid);
+            t.observe(fnv(0x10f1, target as u64));
+            push_trace(st, cfg, || format!("t{tid} joined t{target}"));
+            Some(())
+        } else {
+            st.threads[tid].status = Status::BlockedJoin(target);
+            None
+        }
+    });
+}
+
+fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_thread(sh: &Arc<Shared>, tid: usize, body: Box<dyn FnOnce() + Send>) {
+    IN_MODEL.with(|c| c.set(true));
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            shared: Arc::clone(sh),
+            tid,
+        })
+    });
+    // Run no user code until first scheduled: shim-object registration
+    // order must be a deterministic function of the replayed schedule.
+    let scheduled = {
+        let mut g = lock_st(sh);
+        loop {
+            if g.abandoned {
+                break false;
+            }
+            if g.active == tid {
+                break true;
+            }
+            g = wait_st(sh, g);
+        }
+    };
+    let failure: Option<String> = if scheduled {
+        match panic::catch_unwind(AssertUnwindSafe(body)) {
+            Ok(()) => None,
+            Err(p) => {
+                if p.is::<Abandon>() {
+                    None
+                } else {
+                    Some(panic_msg(&*p))
+                }
+            }
+        }
+    } else {
+        None
+    };
+    let mut g = lock_st(sh);
+    if let Some(msg) = failure {
+        set_violation(&mut g, ViolationKind::Panic(msg));
+    }
+    g.threads[tid].status = Status::Finished;
+    g.threads[tid].clock.tick(tid);
+    g.live -= 1;
+    for th in &mut g.threads {
+        if th.status == Status::BlockedJoin(tid) {
+            th.status = Status::Runnable;
+        }
+    }
+    push_trace(&mut g, &sh.cfg, || format!("t{tid} finished"));
+    schedule_next(&mut g, sh);
+    // The final notify covers the controller waiting for live == 0.
+    sh.cv.notify_all();
+}
+
+// --- Entry points ----------------------------------------------------------
+
+/// Exhaustively explore the interleavings of `f` under `cfg`.
+///
+/// `f` is re-run once per explored schedule, so it must be a pure setup
+/// function: build shim objects, spawn model threads, assert. Returns the
+/// exploration [`Stats`] or the first [`Violation`] found.
+pub fn check<F>(cfg: Config, f: F) -> Result<Stats, Violation>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_hook();
+    let shared = Arc::new(Shared {
+        cfg,
+        st: Mutex::new(St::new()),
+        cv: Condvar::new(),
+    });
+    let f = Arc::new(f);
+    loop {
+        lock_st(&shared).reset_execution();
+        let body: Box<dyn FnOnce() + Send> = {
+            let f = Arc::clone(&f);
+            Box::new(move || f())
+        };
+        let sh2 = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("msc-model-0".to_string())
+            .spawn(move || run_thread(&sh2, 0, body));
+        match spawned {
+            Ok(h) => lock_st(&shared).handles.push(h),
+            Err(e) => panic!("failed to spawn model OS thread: {e}"),
+        }
+        {
+            let mut g = lock_st(&shared);
+            while g.live > 0 {
+                g = wait_st(&shared, g);
+            }
+        }
+        let handles = std::mem::take(&mut lock_st(&shared).handles);
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut g = lock_st(&shared);
+        if let Some(v) = g.violation.take() {
+            return Err(v);
+        }
+        if !g.abandoned {
+            g.stats.interleavings += 1;
+        }
+        if g.stats.runs() >= shared.cfg.max_executions {
+            g.stats.complete = false;
+            return Ok(g.stats.clone());
+        }
+        // Backtrack: advance the deepest non-exhausted decision.
+        loop {
+            match g.stack.last_mut() {
+                None => {
+                    g.stats.complete = g.stats.truncated == 0;
+                    return Ok(g.stats.clone());
+                }
+                Some(fr) if fr.taken + 1 < fr.n => {
+                    fr.taken += 1;
+                    break;
+                }
+                Some(_) => {
+                    g.stack.pop();
+                }
+            }
+        }
+    }
+}
+
+/// [`check`] with the default [`Config`]; panics with the failing schedule
+/// on any violation. The shape model tests want.
+pub fn model<F>(f: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match check(Config::default(), f) {
+        Ok(stats) => stats,
+        Err(v) => {
+            let mut msg =
+                format!("model checking found a violation: {v}\n--- failing schedule ---\n");
+            for line in &v.trace {
+                msg.push_str(line);
+                msg.push('\n');
+            }
+            panic!("{msg}");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The `Sync`-primitives abstraction the workspace's concurrent cores are
+//! generic over.
+//!
+//! Production code instantiates [`Prims`] with [`StdPrims`] — `#[inline]`
+//! forwarding to `std::sync::atomic` and `std::sync::RwLock` that
+//! monomorphizes to exactly the code the non-generic versions compiled to.
+//! Model tests instantiate it with [`crate::shim::ModelPrims`], whose types
+//! report every operation to the interleaving checker instead.
+//!
+//! The vocabulary of orderings is `std`'s own [`Ordering`] enum, so the
+//! concurrent cores read identically under either instantiation and the
+//! `msc-lint` R6 rule (every `Relaxed` carries an `// ordering:`
+//! justification) applies to one spelling.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+
+pub use std::sync::atomic::Ordering;
+
+/// An atomic location holding a `Copy` value.
+///
+/// Only the operations the workspace's concurrent cores actually use are
+/// abstracted (`load` / `store` / `fetch_add`); widening the surface means
+/// widening what the model has to prove, so additions should come with
+/// model semantics.
+pub trait Atomic<V: Copy>: Send + Sync {
+    fn new(v: V) -> Self;
+    fn load(&self, order: Ordering) -> V;
+    fn store(&self, v: V, order: Ordering);
+    fn fetch_add(&self, v: V, order: Ordering) -> V;
+}
+
+/// An `UnsafeCell` stand-in with loom-style scoped access.
+///
+/// The closure receives a raw pointer; dereferencing it is the *caller's*
+/// `unsafe` obligation (the cell hands out aliased pointers freely). Under
+/// [`crate::shim::ModelPrims`] every access is checked for happens-before
+/// ordering against prior conflicting accesses, so a protocol bug in the
+/// caller surfaces as a modeled data race instead of silent corruption.
+pub trait RawCell<T> {
+    fn new(v: T) -> Self;
+    /// Shared (read) access to the cell's contents.
+    fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R;
+    /// Exclusive (write) access to the cell's contents.
+    fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R;
+}
+
+/// A reader-writer lock. Guards release on drop, exactly like
+/// `std::sync::RwLock` — but the trait surfaces no poisoning: a panicked
+/// holder is either unwinding the whole process (production) or already a
+/// reported model violation, so poison carries no extra information here.
+pub trait SharedLock<T> {
+    type ReadGuard<'a>: Deref<Target = T>
+    where
+        Self: 'a;
+    type WriteGuard<'a>: Deref<Target = T> + DerefMut
+    where
+        Self: 'a;
+
+    fn new(v: T) -> Self;
+    fn read(&self) -> Self::ReadGuard<'_>;
+    fn write(&self) -> Self::WriteGuard<'_>;
+}
+
+/// The family of primitive types a concurrent core is generic over.
+pub trait Prims {
+    type AUsize: Atomic<usize>;
+    type AU64: Atomic<u64>;
+    type Cell<T>: RawCell<T>;
+    type Lock<T>: SharedLock<T>;
+}
+
+// ---------------------------------------------------------------------------
+// Production instantiation: straight std forwarding.
+// ---------------------------------------------------------------------------
+
+/// The production [`Prims`]: real `std::sync` primitives, zero overhead.
+pub struct StdPrims;
+
+impl Atomic<usize> for std::sync::atomic::AtomicUsize {
+    #[inline]
+    fn new(v: usize) -> Self {
+        Self::new(v)
+    }
+    #[inline]
+    fn load(&self, order: Ordering) -> usize {
+        Self::load(self, order)
+    }
+    #[inline]
+    fn store(&self, v: usize, order: Ordering) {
+        Self::store(self, v, order);
+    }
+    #[inline]
+    fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        Self::fetch_add(self, v, order)
+    }
+}
+
+impl Atomic<u64> for std::sync::atomic::AtomicU64 {
+    #[inline]
+    fn new(v: u64) -> Self {
+        Self::new(v)
+    }
+    #[inline]
+    fn load(&self, order: Ordering) -> u64 {
+        Self::load(self, order)
+    }
+    #[inline]
+    fn store(&self, v: u64, order: Ordering) {
+        Self::store(self, v, order);
+    }
+    #[inline]
+    fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+        Self::fetch_add(self, v, order)
+    }
+}
+
+/// `UnsafeCell` with the scoped [`RawCell`] API. `!Sync` like the cell it
+/// wraps; a containing type asserts its own `Sync` under its handoff
+/// protocol (and proves it with a model test).
+#[derive(Debug, Default)]
+pub struct StdCell<T>(UnsafeCell<T>);
+
+impl<T> RawCell<T> for StdCell<T> {
+    #[inline]
+    fn new(v: T) -> Self {
+        Self(UnsafeCell::new(v))
+    }
+    #[inline]
+    fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        f(self.0.get().cast_const())
+    }
+    #[inline]
+    fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        f(self.0.get())
+    }
+}
+
+/// `std::sync::RwLock` behind the poison-free [`SharedLock`] surface: a
+/// poisoned lock yields its guard anyway. The workspace's only locked state
+/// (cache shard maps) is structurally valid after any panic — entries are
+/// immutable `Arc`s and `HashMap` is panic-safe — so continuing is strictly
+/// better than cascading the panic into every other worker thread.
+#[derive(Debug, Default)]
+pub struct StdLock<T>(std::sync::RwLock<T>);
+
+impl<T> SharedLock<T> for StdLock<T> {
+    type ReadGuard<'a>
+        = std::sync::RwLockReadGuard<'a, T>
+    where
+        Self: 'a;
+    type WriteGuard<'a>
+        = std::sync::RwLockWriteGuard<'a, T>
+    where
+        Self: 'a;
+
+    #[inline]
+    fn new(v: T) -> Self {
+        Self(std::sync::RwLock::new(v))
+    }
+    #[inline]
+    fn read(&self) -> Self::ReadGuard<'_> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+    #[inline]
+    fn write(&self) -> Self::WriteGuard<'_> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Prims for StdPrims {
+    type AUsize = std::sync::atomic::AtomicUsize;
+    type AU64 = std::sync::atomic::AtomicU64;
+    type Cell<T> = StdCell<T>;
+    type Lock<T> = StdLock<T>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_atomics_forward() {
+        let a = <StdPrims as Prims>::AU64::new(5);
+        assert_eq!(a.load(Ordering::Relaxed), 5);
+        a.store(9, Ordering::Release);
+        assert_eq!(a.fetch_add(1, Ordering::Relaxed), 9);
+        assert_eq!(a.load(Ordering::Acquire), 10);
+        let u = <StdPrims as Prims>::AUsize::new(1);
+        assert_eq!(u.fetch_add(2, Ordering::Relaxed), 1);
+        assert_eq!(u.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn std_cell_pointer_identity() {
+        // This crate forbids unsafe, so the test cannot dereference the raw
+        // pointers the cell hands out; it pins the address contract instead
+        // (callers rely on both closures seeing the same stable location).
+        let c: StdCell<u32> = RawCell::new(7);
+        let shared = c.with(|p| p as usize);
+        let exclusive = c.with_mut(|p| p as usize);
+        assert_eq!(shared, exclusive);
+        assert_eq!(c.with(|p| p as usize), shared);
+    }
+
+    #[test]
+    fn std_lock_read_write() {
+        let l: StdLock<Vec<u32>> = SharedLock::new(vec![1]);
+        l.write().push(2);
+        assert_eq!(l.read().as_slice(), &[1, 2]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Instrumented [`crate::prims::Prims`] instantiation: every operation is
+//! reported to the exploration engine ([`crate::check`]) instead of (or in
+//! addition to) touching real synchronization state.
+//!
+//! All shim types may only be **constructed and used inside a model run**;
+//! outside one they panic with a pointed message. Construction order is
+//! deterministic per replayed schedule (threads run serialized under the
+//! scheduling token), which is what lets the engine identify the same
+//! logical object across executions by registration index.
+
+use crate::exec;
+use crate::prims::{Atomic, Ordering, Prims, RawCell, SharedLock};
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// The model-checked [`Prims`] family.
+pub struct ModelPrims;
+
+impl Prims for ModelPrims {
+    type AUsize = ModelAtomicUsize;
+    type AU64 = ModelAtomicU64;
+    type Cell<T> = ModelCell<T>;
+    type Lock<T> = ModelLock<T>;
+}
+
+/// Modeled `AtomicU64`: the value lives in the engine's per-location store
+/// history, so loads can (and do) return stale values permitted by the
+/// memory model.
+#[derive(Debug)]
+pub struct ModelAtomicU64 {
+    loc: usize,
+}
+
+impl Atomic<u64> for ModelAtomicU64 {
+    fn new(v: u64) -> Self {
+        Self {
+            loc: exec::register_atomic(v),
+        }
+    }
+    fn load(&self, order: Ordering) -> u64 {
+        exec::atomic_load(self.loc, order)
+    }
+    fn store(&self, v: u64, order: Ordering) {
+        exec::atomic_store(self.loc, v, order);
+    }
+    fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+        exec::atomic_rmw_add(self.loc, v, order)
+    }
+}
+
+/// Modeled `AtomicUsize` (stored as `u64` in the engine).
+#[derive(Debug)]
+pub struct ModelAtomicUsize {
+    loc: usize,
+}
+
+impl Atomic<usize> for ModelAtomicUsize {
+    fn new(v: usize) -> Self {
+        Self {
+            loc: exec::register_atomic(v as u64),
+        }
+    }
+    fn load(&self, order: Ordering) -> usize {
+        exec::atomic_load(self.loc, order) as usize
+    }
+    fn store(&self, v: usize, order: Ordering) {
+        exec::atomic_store(self.loc, v as u64, order);
+    }
+    fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        exec::atomic_rmw_add(self.loc, v as u64, order) as usize
+    }
+}
+
+/// Modeled `UnsafeCell`: the data is real (callers dereference the pointer
+/// in their own `unsafe`), but every access first passes a FastTrack-style
+/// happens-before race check — an unordered conflicting access is reported
+/// as [`crate::ViolationKind::DataRace`] before any memory is touched.
+#[derive(Debug, Default)]
+pub struct ModelCell<T> {
+    id: usize,
+    inner: UnsafeCell<T>,
+}
+
+impl<T> RawCell<T> for ModelCell<T> {
+    fn new(v: T) -> Self {
+        Self {
+            id: exec::register_cell(),
+            inner: UnsafeCell::new(v),
+        }
+    }
+    fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        exec::cell_access(self.id, false);
+        // The closure runs while this thread still holds the scheduling
+        // token, so the modeled access and the real one are one atomic step.
+        f(self.inner.get().cast_const())
+    }
+    fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        exec::cell_access(self.id, true);
+        f(self.inner.get())
+    }
+}
+
+/// Modeled reader-writer lock. The blocking protocol (who may hold the lock
+/// when, deadlocks, and the release→acquire happens-before edges) is
+/// simulated by the engine; the protected data lives in a real inner
+/// `RwLock` that is only touched once the model has granted access, so it
+/// is never contended and the guards need no `unsafe`.
+#[derive(Debug)]
+pub struct ModelLock<T> {
+    id: usize,
+    inner: RwLock<T>,
+}
+
+impl<T> SharedLock<T> for ModelLock<T> {
+    type ReadGuard<'a>
+        = ModelReadGuard<'a, T>
+    where
+        Self: 'a;
+    type WriteGuard<'a>
+        = ModelWriteGuard<'a, T>
+    where
+        Self: 'a;
+
+    fn new(v: T) -> Self {
+        Self {
+            id: exec::register_lock(),
+            inner: RwLock::new(v),
+        }
+    }
+    fn read(&self) -> ModelReadGuard<'_, T> {
+        exec::lock_acquire(self.id, false);
+        ModelReadGuard {
+            id: self.id,
+            g: Some(self.inner.read().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+    fn write(&self) -> ModelWriteGuard<'_, T> {
+        exec::lock_acquire(self.id, true);
+        ModelWriteGuard {
+            id: self.id,
+            g: Some(self.inner.write().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+}
+
+pub struct ModelReadGuard<'a, T> {
+    id: usize,
+    g: Option<RwLockReadGuard<'a, T>>,
+}
+
+impl<T> Deref for ModelReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        let Some(g) = &self.g else {
+            unreachable!("guard emptied only in drop")
+        };
+        g
+    }
+}
+
+impl<T> Drop for ModelReadGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before the modeled release schedules
+        // another thread that may immediately take the inner lock.
+        self.g = None;
+        exec::lock_release(self.id, false);
+    }
+}
+
+pub struct ModelWriteGuard<'a, T> {
+    id: usize,
+    g: Option<RwLockWriteGuard<'a, T>>,
+}
+
+impl<T> Deref for ModelWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        let Some(g) = &self.g else {
+            unreachable!("guard emptied only in drop")
+        };
+        g
+    }
+}
+
+impl<T> DerefMut for ModelWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        let Some(g) = &mut self.g else {
+            unreachable!("guard emptied only in drop")
+        };
+        g
+    }
+}
+
+impl<T> Drop for ModelWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.g = None;
+        exec::lock_release(self.id, true);
+    }
+}

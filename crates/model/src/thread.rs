@@ -1,0 +1,47 @@
+//! Model threads: `std::thread`-shaped spawn/join that the engine
+//! schedules. Spawn establishes the usual happens-before edge from the
+//! parent's history to the child; join establishes the edge from the
+//! child's full history to the joiner.
+
+use crate::exec;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Spawn a model thread running `f`. Must be called from inside a model
+/// run ([`crate::check`] / [`crate::model`]).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let out = Arc::clone(&slot);
+    let tid = exec::spawn_model_thread(Box::new(move || {
+        let v = f();
+        *out.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+    }));
+    JoinHandle { tid, slot }
+}
+
+/// Handle to a model thread; [`join`](JoinHandle::join) blocks (in model
+/// time) until the thread finishes and returns its value.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> T {
+        exec::join_thread(self.tid);
+        let v = self
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        let Some(v) = v else {
+            // A child that panicked or was abandoned never lets join_thread
+            // return normally (the execution is already unwinding).
+            unreachable!("joined model thread finished without a value");
+        };
+        v
+    }
+}

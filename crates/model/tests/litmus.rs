@@ -1,0 +1,246 @@
+//! Classic memory-model litmus tests, run against the checker itself: they
+//! pin down that the model *finds* the bugs it claims to find (stale
+//! relaxed reads, data races, deadlocks) and accepts the classic correct
+//! protocols.
+
+use msc_model::prims::{Atomic, Ordering, Prims, RawCell, SharedLock};
+use msc_model::shim::{ModelCell, ModelLock, ModelPrims};
+use msc_model::{check, model, Config, ViolationKind};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+type AU64 = <ModelPrims as Prims>::AU64;
+
+/// Message passing with a Relaxed flag: the reader can observe the flag set
+/// while still reading stale data. The checker must find the failing
+/// schedule.
+#[test]
+fn mp_relaxed_flag_is_caught() {
+    let res = check(Config::default(), || {
+        let flag = Arc::new(AU64::new(0));
+        let data = Arc::new(AU64::new(0));
+        let t = {
+            let (flag, data) = (Arc::clone(&flag), Arc::clone(&data));
+            msc_model::thread::spawn(move || {
+                data.store(42, Ordering::Relaxed);
+                flag.store(1, Ordering::Relaxed); // BUG: should be Release
+            })
+        };
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "stale data after flag");
+        }
+        t.join();
+    });
+    let v = res.expect_err("relaxed-flag message passing must fail");
+    assert!(
+        matches!(v.kind, ViolationKind::Panic(ref m) if m.contains("stale data")),
+        "unexpected violation: {v}"
+    );
+}
+
+/// The same protocol with a proper Release/Acquire pair is fully verified.
+#[test]
+fn mp_acq_rel_is_verified() {
+    let stats = model(|| {
+        let flag = Arc::new(AU64::new(0));
+        let data = Arc::new(AU64::new(0));
+        let t = {
+            let (flag, data) = (Arc::clone(&flag), Arc::clone(&data));
+            msc_model::thread::spawn(move || {
+                data.store(42, Ordering::Relaxed);
+                flag.store(1, Ordering::Release);
+            })
+        };
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join();
+    });
+    assert!(stats.complete, "exploration must exhaust: {stats:?}");
+    assert!(
+        stats.interleavings >= 2,
+        "must explore real choice: {stats:?}"
+    );
+    assert_eq!(stats.truncated, 0);
+}
+
+/// Store buffering: with relaxed operations both loads may read the initial
+/// zeroes — a outcome impossible under naive sequentially-consistent
+/// interleaving. Pins that stale reads are genuinely exercised.
+#[test]
+fn store_buffering_reaches_both_zero() {
+    let outcomes: Arc<Mutex<HashSet<(u64, u64)>>> = Arc::new(Mutex::new(HashSet::new()));
+    let sink = Arc::clone(&outcomes);
+    let stats = model(move || {
+        let x = Arc::new(AU64::new(0));
+        let y = Arc::new(AU64::new(0));
+        let t = {
+            let (x, y) = (Arc::clone(&x), Arc::clone(&y));
+            msc_model::thread::spawn(move || {
+                x.store(1, Ordering::Relaxed);
+                y.load(Ordering::Relaxed)
+            })
+        };
+        x.load(Ordering::Relaxed); // warm a choice point either way
+        y.store(1, Ordering::Relaxed);
+        let r1 = x.load(Ordering::Relaxed);
+        let r0 = t.join();
+        sink.lock().unwrap().insert((r0, r1));
+    });
+    assert!(stats.complete);
+    let seen = outcomes.lock().unwrap();
+    assert!(
+        seen.contains(&(0, 0)),
+        "relaxed store buffering must reach (0,0); saw {seen:?}"
+    );
+    assert!(seen.len() >= 2, "multiple outcomes expected; saw {seen:?}");
+}
+
+/// An unsynchronized UnsafeCell write/read pair is a data race, found
+/// without ever touching the racing memory.
+#[test]
+fn unsynchronized_cell_access_is_a_race() {
+    let res = check(Config::default(), || {
+        let cell = Arc::new(SyncCell(ModelCell::new(0u64)));
+        let t = {
+            let cell = Arc::clone(&cell);
+            msc_model::thread::spawn(move || {
+                cell.0.with_mut(|p| {
+                    // SAFETY-equivalent: the model intercepts the access
+                    // before the dereference; the write itself is fine in
+                    // the schedules that reach it.
+                    unsafe { *p = 7 }
+                });
+            })
+        };
+        cell.0.with(|p| unsafe { *p });
+        t.join();
+    });
+    let v = res.expect_err("unsynchronized cell access must race");
+    assert!(
+        matches!(v.kind, ViolationKind::DataRace(_)),
+        "unexpected violation: {v}"
+    );
+}
+
+/// The same cell protected by release/acquire on a flag is race-free.
+#[test]
+fn flag_published_cell_is_race_free() {
+    let stats = model(|| {
+        let flag = Arc::new(AU64::new(0));
+        let cell = Arc::new(SyncCell(ModelCell::new(0u64)));
+        let t = {
+            let (flag, cell) = (Arc::clone(&flag), Arc::clone(&cell));
+            msc_model::thread::spawn(move || {
+                cell.0.with_mut(|p| unsafe { *p = 7 });
+                flag.store(1, Ordering::Release);
+            })
+        };
+        if flag.load(Ordering::Acquire) == 1 {
+            let v = cell.0.with(|p| unsafe { *p });
+            assert_eq!(v, 7);
+        }
+        t.join();
+    });
+    assert!(stats.complete);
+}
+
+/// ABBA lock ordering deadlocks in some schedule; the checker reports it.
+#[test]
+fn abba_lock_order_deadlocks() {
+    let res = check(Config::default(), || {
+        let a = Arc::new(ModelLock::new(0u64));
+        let b = Arc::new(ModelLock::new(0u64));
+        let t = {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            msc_model::thread::spawn(move || {
+                let ga = a.write();
+                let gb = b.write();
+                drop((ga, gb));
+            })
+        };
+        let gb = b.write();
+        let ga = a.write();
+        drop((ga, gb));
+        t.join();
+    });
+    let v = res.expect_err("ABBA ordering must deadlock somewhere");
+    assert!(
+        matches!(v.kind, ViolationKind::Deadlock),
+        "unexpected violation: {v}"
+    );
+}
+
+/// Lock-protected increments never lose updates.
+#[test]
+fn locked_counter_is_exact() {
+    let stats = model(|| {
+        let n = Arc::new(ModelLock::new(0u64));
+        let t = {
+            let n = Arc::clone(&n);
+            msc_model::thread::spawn(move || {
+                *n.write() += 1;
+            })
+        };
+        *n.write() += 1;
+        t.join();
+        assert_eq!(*n.read(), 2);
+    });
+    assert!(stats.complete);
+    assert!(stats.interleavings >= 2);
+}
+
+/// fetch_add is atomic even when Relaxed: concurrent increments both land.
+#[test]
+fn relaxed_fetch_add_is_atomic() {
+    let stats = model(|| {
+        let n = Arc::new(AU64::new(0));
+        let t = {
+            let n = Arc::clone(&n);
+            msc_model::thread::spawn(move || {
+                n.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        n.fetch_add(1, Ordering::Relaxed);
+        t.join();
+        assert_eq!(n.load(Ordering::Relaxed), 2, "lost RMW update");
+    });
+    assert!(stats.complete);
+}
+
+/// Exploration bookkeeping is self-consistent and pruning fires on the
+/// diamond of commuting operations.
+#[test]
+fn stats_are_consistent() {
+    let stats = model(|| {
+        let x = Arc::new(AU64::new(0));
+        let y = Arc::new(AU64::new(0));
+        let t = {
+            let x = Arc::clone(&x);
+            msc_model::thread::spawn(move || {
+                x.fetch_add(1, Ordering::Relaxed);
+                x.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        y.fetch_add(1, Ordering::Relaxed);
+        y.fetch_add(1, Ordering::Relaxed);
+        t.join();
+    });
+    assert!(stats.complete);
+    assert_eq!(
+        stats.runs(),
+        stats.interleavings + stats.pruned + stats.truncated
+    );
+    assert!(stats.pruned > 0, "commuting diamond must prune: {stats:?}");
+    assert!(stats.decision_points > 0);
+    assert!(stats.max_depth > 0);
+    assert!(stats.prune_rate() > 0.0 && stats.prune_rate() < 1.0);
+}
+
+/// Wrapper asserting Sync for a ModelCell used under a modeled protocol —
+/// exactly what the collector ring does with its buffer slots.
+struct SyncCell(ModelCell<u64>);
+// The model run serializes all accesses and race-checks them; sharing the
+// cell across model threads is the entire point of the test.
+unsafe impl Sync for SyncCell {}
+unsafe impl Send for SyncCell {}
