@@ -1,0 +1,284 @@
+//! Streaming-engine benchmark: equality gate, O(window) working-set check,
+//! and peak-memory / throughput comparison against the offline pipeline at
+//! 1x and 10x run lengths.
+//!
+//! Runs standalone (`harness = false`): `cargo bench --bench stream`
+//! measures the full-size scenario and writes `results/BENCH_stream.json`
+//! at the workspace root; without `--bench` in the arguments it runs a
+//! quick smoke configuration and skips the file and the scale phases.
+//!
+//! Peak RSS (`VmHWM`) is a per-process high-water mark, so the offline and
+//! streamed pipelines at each scale run in *separate child processes*: the
+//! binary re-invokes itself with `--phase offline|stream --millis N` and
+//! parses one result line from each child's stdout. The precise O(window)
+//! claim is carried by `StreamEngine::working_set_peak()` (evictable
+//! frontier bytes), which a 10x longer run must not inflate; `VmHWM`
+//! corroborates it end to end (and includes the simulator, which both
+//! phases pay equally).
+
+use microscope::{DiagnosisConfig, LatencyThreshold, Microscope};
+use msc_collector::{chunk_bundle, TraceBundle};
+use msc_stream::{StreamConfig, StreamEngine};
+use msc_trace::{reconstruct, ReconstructionConfig, Timelines};
+use nf_sim::{paper_nf_configs, Fault, SimConfig, Simulation};
+use nf_traffic::{CaidaLike, CaidaLikeConfig};
+use nf_types::{paper_topology, Topology, MILLIS};
+use std::time::Instant;
+
+const RATE_PPS: f64 = 1_400_000.0;
+const SEED: u64 = 42;
+const CHUNK_MS: u64 = 50;
+
+fn scenario(millis: u64) -> (Topology, Vec<f64>, TraceBundle) {
+    let topology = paper_topology();
+    let cfgs = paper_nf_configs(&topology);
+    let rates: Vec<f64> = cfgs.iter().map(|c| c.service.peak_rate_pps()).collect();
+    let mut gen = CaidaLike::new(
+        CaidaLikeConfig {
+            rate_pps: RATE_PPS,
+            ..Default::default()
+        },
+        SEED,
+    );
+    let packets = gen.generate(0, millis * MILLIS).finalize(0);
+    let mut sim = Simulation::new(topology.clone(), cfgs, SimConfig::default());
+    let nat2 = topology.by_name("nat2").expect("paper topology has nat2");
+    sim.add_fault(Fault::Interrupt {
+        nf: nat2,
+        at: (millis / 2) * MILLIS,
+        duration: MILLIS,
+    });
+    (topology, rates, sim.run(&packets).bundle)
+}
+
+/// Peak resident set of this process in KiB, from `/proc/self/status`.
+fn vmhwm_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn arg_after(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .map(|i| args[i + 1].clone())
+}
+
+/// Child-process entry: run one pipeline and print a single parseable
+/// result line. The simulation happens in the child too, so both phases
+/// pay the same baseline and `VmHWM` differences isolate the pipelines.
+fn run_phase(phase: &str, millis: u64) {
+    let (topology, _, bundle) = scenario(millis);
+    let packets = bundle.source_flows.len();
+    let (elapsed_s, ws_peak, delivered) = match phase {
+        "offline" => {
+            let t0 = Instant::now();
+            let recon = reconstruct(&topology, &bundle, &ReconstructionConfig::default());
+            let tl = Timelines::build(&recon);
+            let e = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&tl);
+            (e, 0usize, recon.report.delivered)
+        }
+        "stream" => {
+            // Chunking stands in for the collector's file reader; it is not
+            // part of the engine, so it stays outside the timed region.
+            let chunks = chunk_bundle(&bundle, CHUNK_MS * MILLIS);
+            drop(bundle);
+            let t0 = Instant::now();
+            let mut engine = StreamEngine::new(&topology, StreamConfig::default());
+            for c in &chunks {
+                engine.push_chunk(c).expect("chunk fits topology");
+            }
+            let ws = engine.working_set_peak();
+            let (recon, tl) = engine.finish();
+            let e = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&tl);
+            (e, ws, recon.report.delivered)
+        }
+        other => panic!("unknown phase {other:?}"),
+    };
+    println!(
+        "phase_result packets={packets} elapsed_s={elapsed_s:.6} vmhwm_kb={} \
+         ws_peak={ws_peak} delivered={delivered}",
+        vmhwm_kb()
+    );
+}
+
+#[derive(Debug, Default, Clone)]
+struct PhaseResult {
+    packets: u64,
+    elapsed_s: f64,
+    vmhwm_kb: u64,
+    ws_peak: u64,
+    delivered: u64,
+}
+
+/// Spawn this binary as `--phase <phase> --millis <millis>` and parse its
+/// result line.
+fn spawn_phase(phase: &str, millis: u64) -> PhaseResult {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .args(["--phase", phase, "--millis", &millis.to_string()])
+        .output()
+        .expect("spawn phase");
+    assert!(
+        out.status.success(),
+        "phase {phase} millis {millis} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("phase_result"))
+        .unwrap_or_else(|| panic!("phase {phase}: no result line in {stdout:?}"));
+    let mut r = PhaseResult::default();
+    for kv in line.split_whitespace().skip(1) {
+        let (k, v) = kv.split_once('=').expect("key=value");
+        match k {
+            "packets" => r.packets = v.parse().expect("packets"),
+            "elapsed_s" => r.elapsed_s = v.parse().expect("elapsed_s"),
+            "vmhwm_kb" => r.vmhwm_kb = v.parse().expect("vmhwm_kb"),
+            "ws_peak" => r.ws_peak = v.parse().expect("ws_peak"),
+            "delivered" => r.delivered = v.parse().expect("delivered"),
+            _ => {}
+        }
+    }
+    r
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(phase) = arg_after(&args, "--phase") {
+        let millis: u64 = arg_after(&args, "--millis")
+            .expect("--phase needs --millis")
+            .parse()
+            .expect("millis");
+        run_phase(&phase, millis);
+        return;
+    }
+
+    let measure = args.iter().any(|a| a == "--bench");
+    let gate_millis: u64 = if measure { 120 } else { 10 };
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Equality gate: the streamed pipeline must be a bit-exact replay of
+    // the offline oracle at every chunk size before anything is measured.
+    eprintln!(
+        "gate: paper 16-NF, {RATE_PPS:.0} pps for {gate_millis} ms (seed {SEED}), {cpus} CPU(s)"
+    );
+    let (topology, rates, bundle) = scenario(gate_millis);
+    let offline = reconstruct(&topology, &bundle, &ReconstructionConfig::default());
+    let off_tl = Timelines::build(&offline);
+    let mut dc = DiagnosisConfig::default();
+    dc.victims.latency = LatencyThreshold::Quantile(0.99);
+    dc.victims.max_victims = Some(5_000);
+    let oracle = Microscope::new(topology.clone(), rates.clone(), dc.clone());
+    let (off_diag, _) = oracle.diagnose_all_stats(&offline, &off_tl);
+
+    let gate_chunks_ms: &[u64] = &[10, CHUNK_MS];
+    let mut working_set = Vec::new();
+    for &chunk_ms in gate_chunks_ms {
+        let mut engine = StreamEngine::new(&topology, StreamConfig::default());
+        for c in chunk_bundle(&bundle, chunk_ms * MILLIS) {
+            engine.push_chunk(&c).expect("chunk fits topology");
+        }
+        let ws = engine.working_set_peak();
+        let out = engine.finish_and_diagnose(rates.clone(), dc.clone());
+        assert_eq!(
+            out.recon.traces, offline.traces,
+            "chunk {chunk_ms} ms: traces"
+        );
+        assert_eq!(
+            out.recon.report, offline.report,
+            "chunk {chunk_ms} ms: report"
+        );
+        assert_eq!(out.timelines, off_tl, "chunk {chunk_ms} ms: timelines");
+        assert_eq!(out.diagnoses, off_diag, "chunk {chunk_ms} ms: diagnoses");
+        eprintln!(
+            "chunk {chunk_ms:>3} ms: identical output, peak working set {} KiB",
+            ws / 1024
+        );
+        working_set.push((chunk_ms, ws));
+    }
+
+    // Scale phases: offline vs streamed at 1x and 10x, each in its own
+    // child process for an uncontaminated VmHWM.
+    let mut scale_rows = Vec::new();
+    if measure {
+        for (label, millis) in [("1x", 120u64), ("10x", 1_200)] {
+            let off = spawn_phase("offline", millis);
+            let st = spawn_phase("stream", millis);
+            assert_eq!(off.delivered, st.delivered, "{label}: delivered diverged");
+            let pps = st.packets as f64 / st.elapsed_s;
+            eprintln!(
+                "{label:>3} ({millis} ms, {} pkts): offline {:.1} ms / {} MiB peak, \
+                 stream {:.1} ms / {} MiB peak, frontier {} KiB, {:.2} Mpps",
+                st.packets,
+                off.elapsed_s * 1e3,
+                off.vmhwm_kb / 1024,
+                st.elapsed_s * 1e3,
+                st.vmhwm_kb / 1024,
+                st.ws_peak / 1024,
+                pps / 1e6
+            );
+            scale_rows.push((label, millis, off, st, pps));
+        }
+        let (small, large) = (scale_rows[0].3.ws_peak, scale_rows[1].3.ws_peak);
+        assert!(
+            large < small.max(1) * 3,
+            "peak frontier grew with run length: {small} -> {large} bytes"
+        );
+    } else {
+        eprintln!("smoke mode (no --bench): skipping scale phases");
+    }
+
+    let ws_rows: Vec<String> = working_set
+        .iter()
+        .map(|&(ms, ws)| format!("    {{\"chunk_ms\": {ms}, \"peak_frontier_bytes\": {ws}}}"))
+        .collect();
+    let scale_json: Vec<String> = scale_rows
+        .iter()
+        .map(|(label, millis, off, st, pps)| {
+            format!(
+                "    {{\"scale\": \"{label}\", \"millis\": {millis}, \"packets\": {}, \
+                 \"offline\": {{\"elapsed_ms\": {:.3}, \"vmhwm_kb\": {}}}, \
+                 \"stream\": {{\"elapsed_ms\": {:.3}, \"vmhwm_kb\": {}, \
+                 \"peak_frontier_bytes\": {}, \"throughput_pps\": {:.0}}}}}",
+                st.packets,
+                off.elapsed_s * 1e3,
+                off.vmhwm_kb,
+                st.elapsed_s * 1e3,
+                st.vmhwm_kb,
+                st.ws_peak,
+                pps
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"stream\",\n  \"scenario\": {{\"topology\": \"paper-16nf\", \
+         \"rate_pps\": {RATE_PPS:.0}, \"gate_millis\": {gate_millis}, \"seed\": {SEED}, \
+         \"chunk_ms\": {CHUNK_MS}}},\n  \
+         \"hardware\": {{\"available_parallelism\": {cpus}}},\n  \
+         \"identical_output\": true,\n  \
+         \"working_set\": [\n{}\n  ],\n  \
+         \"scale\": [\n{}\n  ]\n}}\n",
+        ws_rows.join(",\n"),
+        scale_json.join(",\n")
+    );
+
+    if measure {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../results/BENCH_stream.json");
+        std::fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir results/");
+        std::fs::write(&path, &json).expect("write BENCH_stream.json");
+        eprintln!("wrote {}", path.display());
+    } else {
+        eprintln!("smoke mode (no --bench): skipping results/BENCH_stream.json");
+    }
+    print!("{json}");
+}

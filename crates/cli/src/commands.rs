@@ -1,10 +1,14 @@
 //! Subcommand implementations for the `microscope` CLI.
 
 use microscope::{DiagnosisConfig, LatencyThreshold, Microscope};
-use msc_collector::{load_bundle, save_bundle, TraceBundle};
+use msc_collector::{
+    chunk_bundle, load_bundle, peek_format, save_bundle, save_bundle_chunked, BundleChunkReader,
+    BundleFormat, TraceBundle,
+};
+use msc_stream::{StreamConfig, StreamEngine};
 use msc_trace::{
-    correct_bundle, estimate_offsets_refined, reconstruct, ReconstructionConfig, SkewConfig,
-    Timelines,
+    correct_bundle, estimate_offsets_refined, reconstruct, Reconstruction, ReconstructionConfig,
+    SkewConfig, Timelines,
 };
 use nf_sim::{paper_nf_configs, Fault, SimConfig, Simulation};
 use nf_traffic::{CaidaLike, CaidaLikeConfig};
@@ -17,15 +21,21 @@ microscope — queue-based performance diagnosis for network functions
 
 commands:
   record   --out DIR [--millis N] [--rate MPPS] [--seed S]
-           [--interrupt NF:AT_MS:LEN_US]... [--skew]
+           [--interrupt NF:AT_MS:LEN_US]... [--skew] [--chunk-ms N]
   inspect  --bundle FILE
   diagnose --topology FILE --bundle FILE [--quantile Q] [--threshold PKTS]
+           [--top N] [--skew] [--threads N] [--no-cache]
+  stream   --topology FILE --bundle FILE [--chunk-ms N] [--quantile Q]
            [--top N] [--skew] [--threads N] [--no-cache]
   skew     --topology FILE --bundle FILE
 
 --threads N: pipeline workers (0 = one per CPU, 1 = sequential; clamped to
 the available CPUs — asking for more only adds scheduling overhead). The
 output is bit-identical for any worker count.
+
+stream consumes the bundle incrementally (chunked .mscs files directly;
+whole-run .msc bundles are chunked in memory at --chunk-ms, default 50)
+and prints the same report as diagnose — byte-identical without --skew.
 
 run `microscope <command>` with missing flags to see its specific errors.";
 
@@ -160,6 +170,17 @@ pub fn record(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("write {topo_path:?}: {e}"))?;
     let bundle_path = out_dir.join("run.msc");
     save_bundle(&bundle_path, &out.bundle).map_err(|e| format!("{e}"))?;
+    if let Some(ms) = f.get("chunk-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad --chunk-ms {ms:?}"))?;
+        let chunks = chunk_bundle(&out.bundle, ms.max(1) * MILLIS);
+        let chunked_path = out_dir.join("run.mscs");
+        save_bundle_chunked(&chunked_path, &chunks).map_err(|e| format!("{e}"))?;
+        println!(
+            "wrote {} ({} chunks of {ms} ms)",
+            chunked_path.display(),
+            chunks.len()
+        );
+    }
 
     println!(
         "recorded {n} packets over {millis} ms at {rate} Mpps (seed {seed})\n\
@@ -231,25 +252,8 @@ pub fn diagnose(args: &[String]) -> Result<(), String> {
     }
 
     let recon = reconstruct(&topology, &bundle, &recon_cfg);
-    println!(
-        "reconstructed {} traces: {} delivered, {} dropped, {} unresolved, {} IPID ambiguities",
-        recon.report.total,
-        recon.report.delivered,
-        recon.report.inferred_drops,
-        recon.report.unresolved,
-        recon.report.ambiguities
-    );
     let timelines = Timelines::build(&recon);
 
-    let mut dc = DiagnosisConfig {
-        threads,
-        // Period-keyed memoization (on by default; `--no-cache` benchmarks
-        // the unshared path — the reported diagnoses are identical).
-        cache: !f.has("no-cache"),
-        ..Default::default()
-    };
-    dc.victims.latency = LatencyThreshold::Quantile(quantile);
-    dc.victims.max_victims = Some(5_000);
     if let Some(thr) = f.get("threshold") {
         let _pkts: u64 = thr
             .parse()
@@ -258,8 +262,61 @@ pub fn diagnose(args: &[String]) -> Result<(), String> {
         // the diagnosis core currently anchors at zero-threshold periods.
         eprintln!("note: --threshold is accepted for timeline queries; diagnosis uses 0");
     }
+    let opts = ReportOpts {
+        quantile,
+        top,
+        threads,
+        cache: !f.has("no-cache"),
+    };
+    report_diagnosis(&topology, rates, &recon, &timelines, &opts)
+}
+
+/// Shared knobs for the diagnosis report printed by `diagnose` and
+/// `stream`.
+struct ReportOpts {
+    quantile: f64,
+    top: usize,
+    threads: usize,
+    cache: bool,
+}
+
+/// The diagnosis half of the pipeline plus all the stdout both `diagnose`
+/// and `stream` print — one function so the two commands stay
+/// byte-identical on identical reconstructions (the streaming-equivalence
+/// CI job diffs them).
+fn report_diagnosis(
+    topology: &Topology,
+    rates: Vec<f64>,
+    recon: &Reconstruction,
+    timelines: &Timelines,
+    opts: &ReportOpts,
+) -> Result<(), String> {
+    let ReportOpts {
+        quantile,
+        top,
+        threads,
+        cache,
+    } = *opts;
+    println!(
+        "reconstructed {} traces: {} delivered, {} dropped, {} unresolved, {} IPID ambiguities",
+        recon.report.total,
+        recon.report.delivered,
+        recon.report.inferred_drops,
+        recon.report.unresolved,
+        recon.report.ambiguities
+    );
+
+    let mut dc = DiagnosisConfig {
+        threads,
+        // Period-keyed memoization (on by default; `--no-cache` benchmarks
+        // the unshared path — the reported diagnoses are identical).
+        cache,
+        ..Default::default()
+    };
+    dc.victims.latency = LatencyThreshold::Quantile(quantile);
+    dc.victims.max_victims = Some(5_000);
     let engine = Microscope::new(topology.clone(), rates, dc);
-    let (diagnoses, cache_stats) = engine.diagnose_all_stats(&recon, &timelines);
+    let (diagnoses, cache_stats) = engine.diagnose_all_stats(recon, timelines);
     // Cache statistics go to stderr: stdout is diffed by the determinism
     // CI job, and hit/miss interleaving is timing-dependent under threads.
     if cache_stats.hits + cache_stats.misses > 0 {
@@ -299,7 +356,7 @@ pub fn diagnose(args: &[String]) -> Result<(), String> {
     // (the paper reports ~3 minutes for its 84K); for interactive use we
     // subsample large relation sets — scores stay proportional under a
     // uniform stride.
-    let mut relations = microscope::diagnoses_to_relations(&recon, &diagnoses);
+    let mut relations = microscope::diagnoses_to_relations(recon, &diagnoses);
     const MAX_RELATIONS: usize = 2_000;
     if relations.len() > MAX_RELATIONS {
         let stride = relations.len() / MAX_RELATIONS + 1;
@@ -324,6 +381,66 @@ pub fn diagnose(args: &[String]) -> Result<(), String> {
         println!("  {p}");
     }
     Ok(())
+}
+
+/// `microscope stream` — the streaming pipeline: consume the bundle as a
+/// sequence of time chunks with O(window) reconstruction state, then print
+/// the same report as `diagnose` (byte-identical without `--skew`).
+pub fn stream(args: &[String]) -> Result<(), String> {
+    let f = Flags::parse(args)?;
+    let (topology, rates) = load_deployment(f.require("topology")?)?;
+    let path = f.require("bundle")?;
+    let chunk_ms: u64 = f.num("chunk-ms", 50)?;
+    let opts = ReportOpts {
+        quantile: f.num("quantile", 0.99)?,
+        top: f.num("top", 10)?,
+        threads: f.num("threads", 1)?,
+        cache: !f.has("no-cache"),
+    };
+
+    let mut cfg = StreamConfig::default();
+    if f.has("skew") {
+        // Per-window estimation is approximate; give the matcher the same
+        // slack the offline skew path uses. This mode is *not*
+        // byte-identical to offline `diagnose --skew` (which estimates
+        // offsets once over the whole run).
+        cfg.matching.negative_slack_ns = 20 * MICROS;
+        cfg.skew = Some(SkewConfig::default());
+    }
+    let mut engine = StreamEngine::new(&topology, cfg);
+
+    match peek_format(Path::new(path)).map_err(|e| format!("{path}: {e}"))? {
+        BundleFormat::Chunked => {
+            let mut rdr = BundleChunkReader::open(Path::new(path))
+                .map_err(|e| format!("open {path}: {e}"))?;
+            while let Some(chunk) = rdr.next_chunk().map_err(|e| format!("read {path}: {e}"))? {
+                engine.push_chunk(&chunk).map_err(|e| format!("{e}"))?;
+            }
+        }
+        BundleFormat::Whole => {
+            eprintln!("note: whole-run bundle; chunking in memory at {chunk_ms} ms");
+            let bundle = load_bundle_arg(path)?;
+            for chunk in chunk_bundle(&bundle, chunk_ms * MILLIS) {
+                engine.push_chunk(&chunk).map_err(|e| format!("{e}"))?;
+            }
+        }
+    }
+
+    // Streaming-only stats go to stderr: stdout must match `diagnose`.
+    eprintln!(
+        "streamed {} chunks: {} traces committed pre-finish, peak working set {} KiB, \
+         {} queuing periods closed (longest {} us)",
+        engine.chunks(),
+        engine.committed(),
+        engine.working_set_peak() / 1024,
+        engine.periods().closed_periods(),
+        engine.periods().longest_ns() / 1_000,
+    );
+    for note in engine.skew_notes() {
+        eprintln!("note: {note}");
+    }
+    let (recon, timelines) = engine.finish();
+    report_diagnosis(&topology, rates, &recon, &timelines, &opts)
 }
 
 /// `microscope skew` — clock-offset estimation only.
@@ -408,6 +525,52 @@ mod tests {
             "3",
             "--threads",
             "4",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn stream_round_trip_both_formats() {
+        let dir = std::env::temp_dir().join("msc_cli_streamtest");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.to_string_lossy().to_string();
+        record(&s(&[
+            "--out",
+            &out,
+            "--millis",
+            "40",
+            "--seed",
+            "3",
+            "--interrupt",
+            "nat1:15:800",
+            "--chunk-ms",
+            "10",
+        ]))
+        .unwrap();
+        assert!(dir.join("run.mscs").exists());
+        let topo = dir.join("topology.txt").to_string_lossy().to_string();
+        let whole = dir.join("run.msc").to_string_lossy().to_string();
+        let chunked = dir.join("run.mscs").to_string_lossy().to_string();
+        // Chunked file is consumed incrementally; whole bundles are chunked
+        // in memory. Both must run the full report.
+        stream(&s(&[
+            "--topology",
+            &topo,
+            "--bundle",
+            &chunked,
+            "--top",
+            "3",
+        ]))
+        .unwrap();
+        stream(&s(&[
+            "--topology",
+            &topo,
+            "--bundle",
+            &whole,
+            "--chunk-ms",
+            "10",
+            "--top",
+            "3",
         ]))
         .unwrap();
     }

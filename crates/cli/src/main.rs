@@ -16,6 +16,13 @@
 //!     --threads N fans reconstruction and diagnosis out over N workers
 //!     (0 = one per CPU); the output is bit-identical at any thread count.
 //!
+//! microscope stream   --topology FILE --bundle FILE [--chunk-ms N]
+//!                     [--quantile Q] [--top N] [--skew] [--threads N]
+//!     Consume the bundle as a stream of time chunks (chunked .mscs files
+//!     directly, whole .msc bundles chunked in memory), reconstructing
+//!     with O(window) state, and print the same report as diagnose —
+//!     byte-identical without --skew.
+//!
 //! microscope skew     --topology FILE --bundle FILE
 //!     Estimate per-NF clock offsets from the records alone (§7).
 //! ```
@@ -37,6 +44,7 @@ fn main() -> ExitCode {
         "record" => commands::record(rest),
         "inspect" => commands::inspect(rest),
         "diagnose" => commands::diagnose(rest),
+        "stream" => commands::stream(rest),
         "skew" => commands::skew(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

@@ -21,7 +21,11 @@ pub mod encode;
 pub mod records;
 pub mod ring;
 
-pub use bundle_io::{load_bundle, read_bundle, save_bundle, write_bundle, BundleIoError};
+pub use bundle_io::{
+    chunk_bundle, concat_chunks, load_bundle, peek_format, read_bundle, save_bundle,
+    save_bundle_chunked, write_bundle, write_bundle_chunked, BundleChunk, BundleChunkReader,
+    BundleFormat, BundleIoError,
+};
 pub use collector::{Collector, CollectorConfig, NfLog, TraceBundle};
 pub use encode::{decode_nf_log, encode_nf_log, EncodeError};
 pub use records::{FlowRecord, PacketMeta, QueueRef, RxBatch, TxBatch, MAX_BATCH};

@@ -33,6 +33,7 @@ pub mod local;
 pub mod misbehaviour;
 pub mod propagation;
 pub mod report;
+pub mod streaming;
 pub mod victim;
 
 pub use cache::{CacheStats, DiagnosisCache, DiagnosisCacheCore, DiagnosisStep, StepKey};
@@ -44,6 +45,7 @@ pub use propagation::{
     UpstreamShare,
 };
 pub use report::{diagnoses_to_relations, rank_culprits, RankedCulprit};
+pub use streaming::{NfPeriodStats, PeriodTracker};
 pub use victim::{
     find_victims, find_victims_with, LatencyThreshold, Victim, VictimConfig, VictimKind,
 };

@@ -29,12 +29,17 @@ pub mod reconstruct;
 pub mod skew;
 pub mod streams;
 pub mod timeline;
+pub mod windowed;
 
 pub use matching::{match_downstream, EdgeMatch, MatchConfig, MatchOutcome, MatchStats};
 pub use reconstruct::{
     assemble, match_all, reconstruct, PathTrie, ReconstructedTrace, Reconstruction,
     ReconstructionConfig, ReconstructionReport, RxTraceRef, TraceHop, TraceOutcome, PATH_ROOT,
 };
-pub use skew::{correct_bundle, estimate_offsets, estimate_offsets_refined, SkewConfig};
+pub use skew::{
+    correct_bundle, estimate_offsets, estimate_offsets_detailed, estimate_offsets_refined,
+    estimate_offsets_refined_detailed, SkewConfig, SkewEstimates, SkewTracker,
+};
 pub use streams::{EdgeStreams, PacketRef, RxBatchInfo, RxEntry, SourceEntry, TxEntry};
-pub use timeline::{Arrival, ArrivalKind, NfTimeline, QueuingPeriod, Timelines};
+pub use timeline::{Arrival, ArrivalKind, NfTimeline, NfTimelineBuilder, QueuingPeriod, Timelines};
+pub use windowed::{StreamError, WindowedReconstructor};

@@ -144,11 +144,24 @@ struct EdgeStream {
     matched: Vec<u32>,
 }
 
+/// Heap-allocates a zeroed fixed-size `u32` array directly (the IPID
+/// tables are 256 KiB — too big to build on the stack and move).
+fn boxed_zeroed<const N: usize>() -> Box<[u32; N]> {
+    match vec![0u32; N].into_boxed_slice().try_into() {
+        Ok(b) => b,
+        // The vec is allocated with exactly N elements.
+        Err(_) => unreachable!("boxed slice length mismatch"),
+    }
+}
+
 impl EdgeStream {
     fn build(streams: &EdgeStreams, node: NodeId, down: NfId) -> Self {
         let positions = streams.edge_positions(node, down);
         let n = positions.len();
-        u32::try_from(n).expect("edge stream fits u32 positions");
+        assert!(
+            u32::try_from(n).is_ok(),
+            "edge stream of {n} positions must fit u32"
+        );
         let mut ts: Vec<Nanos> = Vec::with_capacity(n);
         let mut ipids: Vec<Ipid> = Vec::with_capacity(n);
         match node {
@@ -169,21 +182,15 @@ impl EdgeStream {
             }
         }
         // Counting sort by IPID (stable, so runs stay position-ascending).
-        let mut run_start: Box<[u32; IPID_SPACE + 1]> = vec![0u32; IPID_SPACE + 1]
-            .into_boxed_slice()
-            .try_into()
-            .expect("exact length");
+        let mut run_start: Box<[u32; IPID_SPACE + 1]> = boxed_zeroed();
         for &id in &ipids {
             run_start[id as usize + 1] += 1;
         }
         for i in 1..=IPID_SPACE {
             run_start[i] += run_start[i - 1];
         }
-        let mut heads: Box<[u32; IPID_SPACE]> = run_start[..IPID_SPACE]
-            .to_vec()
-            .into_boxed_slice()
-            .try_into()
-            .expect("exact length");
+        let mut heads: Box<[u32; IPID_SPACE]> = boxed_zeroed();
+        heads.copy_from_slice(&run_start[..IPID_SPACE]);
         let mut ipid_pos = vec![0u32; n];
         for (pos, &id) in ipids.iter().enumerate() {
             let h = &mut heads[id as usize];
@@ -300,7 +307,11 @@ pub fn match_downstream(
     cfg: &MatchConfig,
 ) -> EdgeMatch {
     let rx = &streams.nfs[down.0 as usize].rx;
-    u32::try_from(rx.len()).expect("rx stream fits u32 indices");
+    assert!(
+        u32::try_from(rx.len()).is_ok(),
+        "rx stream of {} entries must fit u32",
+        rx.len()
+    );
     debug_assert_eq!(streams.upstreams(down), topology.upstream_nodes(down));
     let upstreams = streams.upstreams(down).to_vec();
     let mut edges: Vec<EdgeStream> = nf_types::par_map(cfg.threads, &upstreams, |_, &node| {

@@ -230,7 +230,7 @@ impl RxTraceRef {
     pub const NONE: Self = Self(u64::MAX);
     const HOP_BITS: u32 = 16;
 
-    fn new(trace: usize, hop: usize) -> Self {
+    pub(crate) fn new(trace: usize, hop: usize) -> Self {
         debug_assert!(hop < (1 << Self::HOP_BITS));
         debug_assert!((trace as u64) < (u64::MAX >> Self::HOP_BITS));
         Self(((trace as u64) << Self::HOP_BITS) | hop as u64)

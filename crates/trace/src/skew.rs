@@ -92,16 +92,33 @@ fn edge_delta(
     Some(deltas[idx])
 }
 
-/// Estimates each NF's clock offset relative to the traffic source.
+/// Per-NF offsets plus per-NF availability: which estimates actually came
+/// from edge samples and which are the fallback value.
 ///
-/// Returns one offset per NF (`NfId` order); subtracting it from an NF's
-/// record timestamps moves them onto the source clock. NFs with no usable
-/// edge samples inherit the mean of their estimated upstreams.
-pub fn estimate_offsets(
+/// The plain [`estimate_offsets`] API silently returns offset 0 for an NF
+/// with too few samples — indistinguishable from a genuinely synchronised
+/// clock, which is exactly wrong for a streaming window that happens to be
+/// quiet on one edge. Callers that re-estimate per window should use
+/// [`estimate_offsets_detailed`] (or [`SkewTracker`]) and carry the last
+/// known offset forward instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkewEstimates {
+    /// Offset per NF in `NfId` order (fallback 0 where unavailable).
+    pub offsets: Vec<TimeDelta>,
+    /// Whether each NF's offset was actually estimated from samples.
+    pub available: Vec<bool>,
+}
+
+/// Estimates each NF's clock offset relative to the traffic source,
+/// reporting which NFs actually had usable edge samples.
+///
+/// Subtracting an NF's offset from its record timestamps moves them onto
+/// the source clock.
+pub fn estimate_offsets_detailed(
     topology: &Topology,
     bundle: &TraceBundle,
     cfg: &SkewConfig,
-) -> Vec<TimeDelta> {
+) -> SkewEstimates {
     let streams = EdgeStreams::build(topology, bundle);
     let mut offsets: Vec<Option<TimeDelta>> = vec![None; topology.len()];
 
@@ -121,7 +138,93 @@ pub fn estimate_offsets(
             offsets[nf.0 as usize] = Some(estimates.iter().sum::<i64>() / estimates.len() as i64);
         }
     }
-    offsets.into_iter().map(|o| o.unwrap_or(0)).collect()
+    SkewEstimates {
+        available: offsets.iter().map(Option::is_some).collect(),
+        offsets: offsets.into_iter().map(|o| o.unwrap_or(0)).collect(),
+    }
+}
+
+/// Estimates each NF's clock offset relative to the traffic source.
+///
+/// Returns one offset per NF (`NfId` order). NFs with no usable edge
+/// samples fall back to offset 0; use [`estimate_offsets_detailed`] to
+/// distinguish that fallback from a real zero estimate.
+pub fn estimate_offsets(
+    topology: &Topology,
+    bundle: &TraceBundle,
+    cfg: &SkewConfig,
+) -> Vec<TimeDelta> {
+    estimate_offsets_detailed(topology, bundle, cfg).offsets
+}
+
+/// Rolling per-window skew estimation for the streaming engine.
+///
+/// Each window re-estimates offsets from that window's records alone. A
+/// quiet edge used to silently reset its NF to offset 0 mid-run (the
+/// `unwrap_or(0)` fallback), stepping the corrected clock by the full skew;
+/// the tracker instead carries the last-known offset forward and counts the
+/// miss so the report can say "skew estimate unavailable" explicitly.
+#[derive(Debug, Clone)]
+pub struct SkewTracker {
+    cfg: SkewConfig,
+    last: Vec<TimeDelta>,
+    misses: Vec<u64>,
+    windows: u64,
+}
+
+impl SkewTracker {
+    /// A tracker for `n_nfs` NFs, starting from offset 0 everywhere.
+    pub fn new(n_nfs: usize, cfg: SkewConfig) -> Self {
+        Self {
+            cfg,
+            last: vec![0; n_nfs],
+            misses: vec![0; n_nfs],
+            windows: 0,
+        }
+    }
+
+    /// Ingests one window's bundle and returns the offsets to apply to it:
+    /// fresh refined estimates where available, the previous window's
+    /// offsets (initially 0) where not.
+    pub fn observe(&mut self, topology: &Topology, window: &TraceBundle) -> Vec<TimeDelta> {
+        let est = estimate_offsets_refined_detailed(topology, window, &self.cfg);
+        self.windows += 1;
+        for (i, last) in self.last.iter_mut().enumerate() {
+            if est.available.get(i).copied().unwrap_or(false) {
+                *last = est.offsets[i];
+            } else {
+                self.misses[i] += 1;
+            }
+        }
+        self.last.clone()
+    }
+
+    /// The most recent per-NF offsets.
+    pub fn offsets(&self) -> &[TimeDelta] {
+        &self.last
+    }
+
+    /// Windows observed so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// One report note per NF whose estimate went missing in at least one
+    /// window, so the fallback is visible instead of silent.
+    pub fn notes(&self, topology: &Topology) -> Vec<String> {
+        self.misses
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m > 0)
+            .map(|(i, &m)| {
+                format!(
+                    "skew estimate unavailable for {} in {m}/{} windows; carried last-known offset forward",
+                    topology.nf(NfId(i as u16)).name,
+                    self.windows
+                )
+            })
+            .collect()
+    }
 }
 
 /// Multi-pass estimator: coarse per-edge percentile sync, then iterative
@@ -144,7 +247,22 @@ pub fn estimate_offsets_refined(
     bundle: &TraceBundle,
     cfg: &SkewConfig,
 ) -> Vec<TimeDelta> {
-    let mut est = estimate_offsets(topology, bundle, cfg);
+    estimate_offsets_refined_detailed(topology, bundle, cfg).offsets
+}
+
+/// [`estimate_offsets_refined`] plus per-NF availability: an NF counts as
+/// estimated when the coarse pass had edge samples *or* any refinement
+/// pass found a coherent cross-correlation spike on one of its edges.
+/// Per-window callers ([`SkewTracker`]) need this to tell a refined zero
+/// from the silent fallback.
+pub fn estimate_offsets_refined_detailed(
+    topology: &Topology,
+    bundle: &TraceBundle,
+    cfg: &SkewConfig,
+) -> SkewEstimates {
+    let coarse = estimate_offsets_detailed(topology, bundle, cfg);
+    let mut est = coarse.offsets;
+    let mut available = coarse.available;
 
     for (bin_ns, search_ns) in [
         (100_000i64, 20_000_000i64),
@@ -168,13 +286,17 @@ pub fn estimate_offsets_refined(
             }
             if !estimates.is_empty() {
                 residual[nf.0 as usize] = estimates.iter().sum::<i64>() / estimates.len() as i64;
+                available[nf.0 as usize] = true;
             }
         }
         for (e, r) in est.iter_mut().zip(&residual) {
             *e += r;
         }
     }
-    est
+    SkewEstimates {
+        offsets: est,
+        available,
+    }
 }
 
 /// One cross-correlation residual estimate for an edge (see
@@ -226,8 +348,21 @@ fn edge_residual(
     }
     // The spike's lower boundary is its steepest rise: queueing delay is
     // non-negative, so the coherent mass starts abruptly at the residual.
-    let lo = peak_bin - (1_000_000 / bin_ns).max(4);
-    let edge_bin = (lo..=peak_bin)
+    // Clamp the scan to the contiguously populated run of bins ending at
+    // the peak: the coherent mass is contiguous by construction, so bins
+    // past the first gap belong to detached collision clusters — scanning
+    // into one used to pick its rise and drag the `min` below far under
+    // the true spike edge (and a peak at the minimum populated bin must
+    // simply scan itself).
+    let mut lo = peak_bin - (1_000_000 / bin_ns).max(4);
+    while lo < peak_bin && !bins.contains_key(&lo) {
+        lo += 1;
+    }
+    let mut run_lo = peak_bin;
+    while run_lo > lo && bins.contains_key(&(run_lo - 1)) {
+        run_lo -= 1;
+    }
+    let edge_bin = (run_lo..=peak_bin)
         .max_by_key(|b| {
             bins.get(b).copied().unwrap_or(0) as i64
                 - bins.get(&(b - 1)).copied().unwrap_or(0) as i64
@@ -371,5 +506,134 @@ mod tests {
         let c = Collector::new(&topo, CollectorConfig::default());
         let offsets = estimate_offsets(&topo, &c.into_bundle(), &SkewConfig::default());
         assert_eq!(offsets, vec![0, 0]);
+    }
+
+    #[test]
+    fn detailed_estimates_flag_unavailable_nfs() {
+        let topo = chain();
+        // Empty bundle: nothing is estimable, and the API must say so
+        // instead of passing the zero fallback off as a measurement.
+        let empty = Collector::new(&topo, CollectorConfig::default()).into_bundle();
+        let est = estimate_offsets_detailed(&topo, &empty, &SkewConfig::default());
+        assert_eq!(est.offsets, vec![0, 0]);
+        assert_eq!(est.available, vec![false, false]);
+
+        let est = estimate_offsets_detailed(&topo, &skewed_bundle(&topo), &SkewConfig::default());
+        assert_eq!(est.available, vec![true, true]);
+        assert!((est.offsets[0] - 1_000_000).abs() < 5_000);
+    }
+
+    /// Regression: a streaming window with a quiet edge used to reset that
+    /// NF's offset to 0 (the silent `unwrap_or(0)` fallback), stepping its
+    /// corrected clock by the full skew mid-run. The tracker must carry the
+    /// last-known offset forward and surface the miss as a note.
+    #[test]
+    fn tracker_carries_last_known_offset_across_quiet_windows() {
+        let topo = chain();
+        let mut tracker = SkewTracker::new(topo.len(), SkewConfig::default());
+
+        let rich = tracker.observe(&topo, &skewed_bundle(&topo));
+        assert!(
+            (rich[0] - 1_000_000).abs() < 5_000,
+            "nat offset {}",
+            rich[0]
+        );
+        assert!((rich[1] + 500_000).abs() < 10_000, "vpn offset {}", rich[1]);
+
+        // A quiet window: too few samples on every edge.
+        let quiet = Collector::new(&topo, CollectorConfig::default()).into_bundle();
+        let carried = tracker.observe(&topo, &quiet);
+        assert_eq!(carried, rich, "quiet window must not reset offsets");
+        assert_eq!(tracker.offsets(), rich.as_slice());
+
+        let notes = tracker.notes(&topo);
+        assert_eq!(notes.len(), 2);
+        assert!(
+            notes[0].contains("nat1") && notes[0].contains("1/2 windows"),
+            "note: {}",
+            notes[0]
+        );
+    }
+
+    /// Regression for the `edge_bin` scan: a detached collision cluster far
+    /// below the coherent spike used to win the steepest-rise search (the
+    /// scan ranged over up to 1 ms of bins regardless of gaps), dragging
+    /// the returned minimum ~50 µs under the true spike edge. The scan must
+    /// stay within the contiguously populated run ending at the peak.
+    #[test]
+    fn edge_residual_ignores_detached_cluster_below_the_spike() {
+        let topo = chain();
+        let mut c = Collector::new(&topo, CollectorConfig::default());
+        // One sample per IPID so each (send, read) pair contributes exactly
+        // its own delta: 15 collision-like samples at ~-50 µs, then a spike
+        // of 12 at ~5.1 µs (its low edge) and 20 at ~6.1 µs (its peak).
+        let mut deltas: Vec<i64> = Vec::new();
+        for k in 0..15 {
+            deltas.push(-50_000 + k);
+        }
+        for k in 0..12 {
+            deltas.push(5_100 + k);
+        }
+        for k in 0..20 {
+            deltas.push(6_100 + k);
+        }
+        for (k, &d) in deltas.iter().enumerate() {
+            let m = PacketMeta {
+                ipid: k as u16,
+                flow: FiveTuple::new(1, 2, 3, 4, Proto::TCP),
+            };
+            let ts = 1_000_000 + k as u64 * 500_000;
+            c.record_tx(NfId(0), ts, Some(NfId(1)), &[m]);
+            c.record_rx(NfId(1), (ts as i64 + d) as u64, &[m]);
+        }
+        let streams = EdgeStreams::build(&topo, &c.into_bundle());
+        let got = edge_residual(
+            &streams,
+            NodeId::Nf(NfId(0)),
+            NfId(1),
+            1_000,
+            200_000,
+            &SkewConfig::default(),
+        )
+        .expect("spike is coherent enough to estimate");
+        assert!(
+            (5_000..6_000).contains(&got),
+            "edge residual {got} must sit at the spike's low edge, not the cluster"
+        );
+    }
+
+    /// The paper-named corner: with zero queueing spread every delta lands
+    /// in a single histogram bin — the spike *is* the minimum populated bin
+    /// and the steepest-rise scan has nothing below it to look at.
+    #[test]
+    fn refined_recovers_offsets_with_spike_at_minimum_bin() {
+        let topo = chain();
+        let off = [700_000i64, -300_000i64];
+        let mut c = Collector::new(&topo, CollectorConfig::default());
+        for i in 0..200u16 {
+            let m = PacketMeta {
+                ipid: i,
+                flow: FiveTuple::new(1, 2, 1000 + i, 80, Proto::TCP),
+            };
+            let t = 1_000_000 + i as u64 * 10_000;
+            c.record_source(t, &m);
+            // Constant per-hop latency: zero spread, single-bin spikes.
+            c.record_rx(NfId(0), (t as i64 + 1_000 + off[0]) as u64, &[m]);
+            c.record_tx(
+                NfId(0),
+                (t as i64 + 2_000 + off[0]) as u64,
+                Some(NfId(1)),
+                &[m],
+            );
+            c.record_rx(NfId(1), (t as i64 + 3_000 + off[1]) as u64, &[m]);
+            c.record_tx(NfId(1), (t as i64 + 5_000 + off[1]) as u64, None, &[m]);
+        }
+        let bundle = c.into_bundle();
+        // Tolerance: the estimator's floor is the minimum queueing delay on
+        // the path (a constant 1 µs per hop here) — that bias is inherent,
+        // the scan must not add anything on top of it.
+        let est = estimate_offsets_refined(&topo, &bundle, &SkewConfig::default());
+        assert!((est[0] - off[0]).abs() <= 1_500, "nat offset {}", est[0]);
+        assert!((est[1] - off[1]).abs() <= 2_500, "vpn offset {}", est[1]);
     }
 }

@@ -16,6 +16,9 @@
 //!   collector (Table 1, §5);
 //! * [`trace`] (`msc-trace`) — offline trace reconstruction with IPID
 //!   disambiguation, timelines and queuing periods;
+//! * [`stream`] (`msc-stream`) — the streaming engine: windowed
+//!   reconstruction over collector chunk streams with O(window) memory,
+//!   bit-identical to the offline pipeline;
 //! * [`diagnosis`] (`microscope`) — the paper's contribution: local +
 //!   propagation + recursive diagnosis (§4.1–4.3);
 //! * [`patterns`] (`autofocus`) — causal-pattern aggregation (§4.4);
@@ -62,6 +65,7 @@ pub use autofocus as patterns;
 pub use microscope as diagnosis;
 pub use msc_collector as collector;
 pub use msc_experiments as experiments;
+pub use msc_stream as stream;
 pub use msc_trace as trace;
 pub use netmedic as baseline;
 pub use nf_sim as sim;
@@ -75,7 +79,8 @@ pub mod prelude {
         diagnoses_to_relations, CacheStats, Diagnosis, DiagnosisCache, DiagnosisConfig,
         LatencyThreshold, Microscope, VictimConfig,
     };
-    pub use msc_collector::{Collector, CollectorConfig, TraceBundle};
+    pub use msc_collector::{chunk_bundle, Collector, CollectorConfig, TraceBundle};
+    pub use msc_stream::{StreamConfig, StreamEngine, StreamOutcome};
     pub use msc_trace::{reconstruct, Reconstruction, ReconstructionConfig, Timelines};
     pub use netmedic::{NetMedic, NetMedicConfig};
     pub use nf_sim::{

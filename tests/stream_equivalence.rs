@@ -1,0 +1,130 @@
+//! Streaming-equivalence suite: the streamed pipeline must be a bit-exact
+//! replay of the offline oracle.
+//!
+//! The offline pipeline (`reconstruct` + `Timelines::build` + diagnosis)
+//! stays the ground truth; `StreamEngine` consumes the identical records as
+//! time chunks and must produce the same traces, report, back-references,
+//! timelines, and diagnoses for every seed, chunk size, and cache setting —
+//! the only sanctioned divergence is `Reconstruction::streams`, which
+//! streaming leaves empty (nothing downstream of timeline construction
+//! reads it).
+
+use microscope_repro::prelude::*;
+use microscope_repro::trace::NfTimelineBuilder;
+
+fn run_16nf(rate: f64, millis: u64, seed: u64) -> (Topology, Vec<f64>, TraceBundle) {
+    let topology = paper_topology();
+    let cfgs = paper_nf_configs(&topology);
+    let rates: Vec<f64> = cfgs.iter().map(|c| c.service.peak_rate_pps()).collect();
+    let mut gen = CaidaLike::new(
+        CaidaLikeConfig {
+            rate_pps: rate,
+            ..Default::default()
+        },
+        seed,
+    );
+    let packets = gen.generate(0, millis * MILLIS).finalize(0);
+    let mut sim = Simulation::new(topology.clone(), cfgs, SimConfig::default());
+    let nat2 = topology.by_name("nat2").unwrap();
+    // Long enough to overflow nat2's ring at the higher offered rates, so
+    // the suite covers inferred drops and flow mismatches, not just the
+    // happy path.
+    sim.add_fault(Fault::Interrupt {
+        nf: nat2,
+        at: (millis / 2) * MILLIS,
+        duration: 3 * MILLIS,
+    });
+    let out = sim.run(&packets);
+    (topology, rates, out.bundle)
+}
+
+fn diag_config(cache: bool) -> DiagnosisConfig {
+    let mut dc = DiagnosisConfig {
+        cache,
+        ..Default::default()
+    };
+    dc.victims.latency = LatencyThreshold::Quantile(0.99);
+    dc.victims.max_victims = Some(2_000);
+    dc
+}
+
+#[test]
+fn streamed_pipeline_is_bit_identical_to_offline() {
+    for seed in [11u64, 42] {
+        let (topology, rates, bundle) = run_16nf(1_600_000.0, 20, seed);
+        let offline = reconstruct(&topology, &bundle, &ReconstructionConfig::default());
+        let off_tl = Timelines::build(&offline);
+        assert!(
+            offline.report.delivered > 0 && offline.report.inferred_drops > 0,
+            "seed {seed}: run must exercise drops"
+        );
+        let oracle = Microscope::new(topology.clone(), rates.clone(), diag_config(true));
+        let (off_diag, _) = oracle.diagnose_all_stats(&offline, &off_tl);
+        assert!(!off_diag.is_empty(), "seed {seed} produced no victims");
+
+        for chunk_ms in [3u64, 11] {
+            for cache in [true, false] {
+                let tag = format!("seed {seed}, chunk {chunk_ms} ms, cache {cache}");
+                let mut engine = StreamEngine::new(&topology, StreamConfig::default());
+                for chunk in chunk_bundle(&bundle, chunk_ms * MILLIS) {
+                    engine.push_chunk(&chunk).expect("chunk fits topology");
+                }
+                let out = engine.finish_and_diagnose(rates.clone(), diag_config(cache));
+                assert_eq!(out.recon.traces, offline.traces, "{tag}: traces");
+                assert_eq!(out.recon.hops, offline.hops, "{tag}: hop arena");
+                assert_eq!(out.recon.report, offline.report, "{tag}: report");
+                assert_eq!(
+                    out.recon.rx_to_trace, offline.rx_to_trace,
+                    "{tag}: rx_to_trace"
+                );
+                assert_eq!(
+                    out.recon.hop_path_ids, offline.hop_path_ids,
+                    "{tag}: hop_path_ids"
+                );
+                assert_eq!(out.timelines, off_tl, "{tag}: timelines");
+                assert_eq!(out.diagnoses, off_diag, "{tag}: diagnoses");
+            }
+        }
+    }
+}
+
+#[test]
+fn streamed_timelines_match_the_builder_contract() {
+    // The streaming engine's timelines come from incremental
+    // NfTimelineBuilder pushes; double-check the builder itself on this
+    // workload against the batch constructor (guards the engine's oracle).
+    let (topology, _, bundle) = run_16nf(1_000_000.0, 15, 7);
+    let offline = reconstruct(&topology, &bundle, &ReconstructionConfig::default());
+    let off_tl = Timelines::build(&offline);
+    let _ = NfTimelineBuilder::new; // builder is part of the public API
+    let mut engine = StreamEngine::new(&topology, StreamConfig::default());
+    for chunk in chunk_bundle(&bundle, 5 * MILLIS) {
+        engine.push_chunk(&chunk).expect("chunk fits topology");
+    }
+    let (_, tl) = engine.finish();
+    assert_eq!(tl, off_tl);
+}
+
+#[test]
+fn working_set_stays_bounded_as_the_run_grows() {
+    // Peak frontier bytes must track the chunk window, not the run length:
+    // a 4x longer run at the same chunk size may not inflate the peak more
+    // than a small constant factor.
+    let chunk = 4 * MILLIS;
+    let mut peaks = Vec::new();
+    for millis in [10u64, 40] {
+        let (topology, _, bundle) = run_16nf(1_000_000.0, millis, 13);
+        let mut engine = StreamEngine::new(&topology, StreamConfig::default());
+        for c in chunk_bundle(&bundle, chunk) {
+            engine.push_chunk(&c).expect("chunk fits topology");
+        }
+        peaks.push(engine.working_set_peak());
+        let (recon, _) = engine.finish();
+        assert!(recon.report.total > 0);
+    }
+    let (small, large) = (peaks[0], peaks[1]);
+    assert!(
+        large < small.max(1) * 3,
+        "peak frontier grew with run length: {small} -> {large}"
+    );
+}
